@@ -1,0 +1,184 @@
+// Benchmarks regenerating every reproducible table/figure of the iTag demo
+// paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured). Each BenchmarkE*/BenchmarkA* runs one experiment and
+// logs its result table; BenchmarkS* are the systems microbenchmarks.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkE1 -benchtime=1x
+// Quick sizes:      go test -bench=. -short
+package itag_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"itag"
+	"itag/internal/bench"
+	"itag/internal/rng"
+	"itag/internal/store"
+)
+
+func sizes(b *testing.B) bench.Sizes {
+	if testing.Short() {
+		return bench.SmallSizes()
+	}
+	return bench.DefaultSizes()
+}
+
+func runExperiment(b *testing.B, f func(bench.Sizes) (bench.Result, error)) {
+	sz := sizes(b)
+	var res bench.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = f(sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + res.Text())
+}
+
+// BenchmarkE1_TableI_StrategyComparison — paper Table I: per-strategy Δq̄
+// and characteristic signatures, plus the optimal upper bound.
+func BenchmarkE1_TableI_StrategyComparison(b *testing.B) { runExperiment(b, bench.E1TableI) }
+
+// BenchmarkE2_QualityVsBudget — §IV: q(R) improvement versus budget per
+// strategy.
+func BenchmarkE2_QualityVsBudget(b *testing.B) { runExperiment(b, bench.E2QualityVsBudget) }
+
+// BenchmarkE3_VsOptimal — §IV: each strategy as a fraction of the optimal
+// allocation's improvement.
+func BenchmarkE3_VsOptimal(b *testing.B) { runExperiment(b, bench.E3VsOptimal) }
+
+// BenchmarkE4_ThresholdSatisfaction — Table I MU row: resources meeting a
+// quality requirement τ.
+func BenchmarkE4_ThresholdSatisfaction(b *testing.B) { runExperiment(b, bench.E4ThresholdSatisfaction) }
+
+// BenchmarkE5_LowQualityReduction — Table I FP row: low-quality resource
+// count versus budget; FC's popularity skew (Gini).
+func BenchmarkE5_LowQualityReduction(b *testing.B) { runExperiment(b, bench.E5LowQualityReduction) }
+
+// BenchmarkE6_MonitoringAndSwitch — Fig. 5 behaviour: live quality curve
+// and mid-run FC→FP-MU strategy switch.
+func BenchmarkE6_MonitoringAndSwitch(b *testing.B) { runExperiment(b, bench.E6MonitoringAndSwitch) }
+
+// BenchmarkE7_ApprovalFiltering — §III-A approval flow: effect of judging
+// + qualification gating with 30% unreliable taggers.
+func BenchmarkE7_ApprovalFiltering(b *testing.B) { runExperiment(b, bench.E7ApprovalFiltering) }
+
+// BenchmarkE8_PromoteStop — §III-A promote/stop controls.
+func BenchmarkE8_PromoteStop(b *testing.B) { runExperiment(b, bench.E8PromoteStop) }
+
+// BenchmarkE9_TraceReplay — §IV Delicious replay protocol (pre-cutoff seed,
+// held-out future posts).
+func BenchmarkE9_TraceReplay(b *testing.B) { runExperiment(b, bench.E9TraceReplay) }
+
+// BenchmarkA1_StabilityWindow — ablation: MU stability window W.
+func BenchmarkA1_StabilityWindow(b *testing.B) { runExperiment(b, bench.A1StabilityWindow) }
+
+// BenchmarkA2_SwitchPoint — ablation: FP-MU switch trigger.
+func BenchmarkA2_SwitchPoint(b *testing.B) { runExperiment(b, bench.A2SwitchPoint) }
+
+// BenchmarkA3_BatchSize — ablation: Algorithm-1 batch size |Rc|.
+func BenchmarkA3_BatchSize(b *testing.B) { runExperiment(b, bench.A3BatchSize) }
+
+// BenchmarkS1_StorePostAppend — systems: durable post append throughput
+// through the WAL-backed catalog.
+func BenchmarkS1_StorePostAppend(b *testing.B) {
+	db, err := store.Open(b.TempDir()+"/wal.jsonl", store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cat := store.NewCatalog(db)
+	now := time.Now().UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := store.PostRec{
+			ResourceID: fmt.Sprintf("r%03d", i%256),
+			TaggerID:   "t1",
+			Tags:       []string{"go", "database", "tagging"},
+			Time:       now,
+		}
+		if _, err := cat.AppendPost(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkS1_StoreRecovery — systems: WAL replay time for a 20k-record log.
+func BenchmarkS1_StoreRecovery(b *testing.B) {
+	path := b.TempDir() + "/wal.jsonl"
+	db, err := store.Open(path, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := store.NewCatalog(db)
+	now := time.Now().UTC()
+	for i := 0; i < 20000; i++ {
+		if _, err := cat.AppendPost(store.PostRec{
+			ResourceID: fmt.Sprintf("r%03d", i%512),
+			Tags:       []string{"a", "b"}, Time: now,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db2, err := store.Open(path, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db2.Count(store.TablePosts) != 20000 {
+			b.Fatal("recovery incomplete")
+		}
+		db2.Close()
+	}
+}
+
+// BenchmarkS2_EngineThroughput — systems: end-to-end tasks/second through
+// engine + platform simulator + quality tracking.
+func BenchmarkS2_EngineThroughput(b *testing.B) {
+	world, err := itag.GenerateWorld(rng.New(1), itag.WorldConfig{NumResources: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop, err := itag.NewPopulation(rng.New(2), itag.PopulationConfig{Size: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := itag.NewSimulator(world)
+	b.ResetTimer()
+	tasks := 0
+	for i := 0; i < b.N; i++ {
+		plat, err := itag.NewPlatform(itag.PlatformConfig{
+			Workers: itag.WorkerIDs(pop),
+			Post:    itag.GenerativeSource(sim, pop, int64(i)),
+			Seed:    int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := itag.NewEngine(itag.EngineConfig{
+			Resources: world.Dataset.Resources,
+			Strategy:  itag.NewFPMU(),
+			Budget:    2000,
+			Batch:     32,
+			Platform:  plat,
+			Seed:      int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		tasks += eng.Spent()
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/sec")
+}

@@ -1,0 +1,85 @@
+// Command itag-gen generates synthetic Delicious-like tagging datasets:
+// resources with latent tag distributions plus a timestamped free-choice
+// post trace, serialized as JSONL (and optionally the posts as CSV).
+//
+// Usage:
+//
+//	itag-gen -resources 500 -posts 20000 -out trace.jsonl
+//	itag-gen -resources 100 -posts 5000 -out ds.jsonl -csv posts.csv -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itag/internal/dataset"
+	"itag/internal/rng"
+	"itag/internal/taggersim"
+)
+
+func main() {
+	nRes := flag.Int("resources", 200, "number of resources")
+	nPosts := flag.Int("posts", 10000, "trace length in posts")
+	nTaggers := flag.Int("taggers", 80, "tagger population size")
+	unreliable := flag.Float64("unreliable", 0.1, "fraction of unreliable taggers")
+	zipf := flag.Float64("zipf", 1.1, "resource popularity Zipf exponent")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "dataset.jsonl", "output JSONL path")
+	csvPath := flag.String("csv", "", "also write posts as CSV to this path")
+	stats := flag.Bool("stats", false, "print dataset statistics")
+	flag.Parse()
+
+	r := rng.New(*seed)
+	world, err := dataset.Generate(r, dataset.GeneratorConfig{
+		NumResources: *nRes, PopularityZipfS: *zipf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	pop, err := taggersim.NewPopulation(r, taggersim.PopulationConfig{
+		Size: *nTaggers, UnreliableFraction: *unreliable,
+	})
+	if err != nil {
+		fail(err)
+	}
+	sim := taggersim.NewSimulator(world)
+	if err := sim.GenerateTrace(r, pop, taggersim.TraceConfig{NumPosts: *nPosts}); err != nil {
+		fail(err)
+	}
+	if err := dataset.SaveJSONL(*out, world.Dataset); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %d resources, %d posts\n", *out, len(world.Dataset.Resources), len(world.Dataset.Posts))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := dataset.WritePostsCSV(f, world.Dataset.Posts); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *stats {
+		s := dataset.Summarize(world.Dataset)
+		fmt.Printf("resources:      %d\n", s.NumResources)
+		fmt.Printf("posts:          %d\n", s.NumPosts)
+		fmt.Printf("distinct tags:  %d\n", s.DistinctTags)
+		fmt.Printf("posts/resource: min %.0f  median %.0f  mean %.1f  max %.0f\n",
+			s.PostsPerRes.Min, s.PostsPerRes.Median, s.PostsPerRes.Mean, s.PostsPerRes.Max)
+		fmt.Printf("tags/post:      mean %.2f\n", s.TagsPerPost.Mean)
+		fmt.Printf("post-count gini: %.3f\n", s.PopularityGini)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "itag-gen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command itagd runs the iTag server: the HTTP JSON API over the manager
+// layer and the embedded WAL-backed store (the Go equivalent of the demo's
+// PHP/Python + MySQL stack).
+//
+// Usage:
+//
+//	itagd [-addr :8080] [-db itag.wal] [-seed 42]
+//
+// With -db "" the store is in-memory (state lost on exit). See
+// internal/server for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"itag/internal/core"
+	"itag/internal/server"
+	"itag/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dbPath := flag.String("db", "itag.wal", "WAL file path; empty for in-memory")
+	seed := flag.Int64("seed", 42, "seed for simulated platforms and worlds")
+	quiet := flag.Bool("quiet", false, "disable request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "itagd ", log.LstdFlags)
+
+	var db *store.DB
+	if *dbPath == "" {
+		db = store.OpenMemory()
+		logger.Print("using in-memory store")
+	} else {
+		var err error
+		db, err = store.Open(*dbPath, store.Options{SyncEvery: 64})
+		if err != nil {
+			logger.Fatalf("open store: %v", err)
+		}
+		logger.Printf("store: %s (%d records)", *dbPath, db.Seq())
+	}
+	defer db.Close()
+
+	svc := core.NewService(store.NewCatalog(db), *seed)
+	var reqLog *log.Logger
+	if !*quiet {
+		reqLog = logger
+	}
+	srv := server.New(svc, reqLog)
+
+	logger.Printf("iTag listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "itagd: %v\n", err)
+		os.Exit(1)
+	}
+}

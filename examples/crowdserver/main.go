@@ -1,0 +1,152 @@
+// Crowd server: the full system end-to-end over HTTP — itagd's API driven
+// by a provider client and simulated audience taggers, mirroring the demo's
+// audience-participation mode (paper §IV).
+//
+// The program starts the HTTP server in-process, registers a provider and
+// three taggers, creates two projects (one simulated MTurk run, one manual
+// audience project), drives both to completion through the REST API, and
+// prints the provider's dashboard.
+//
+//	go run ./examples/crowdserver
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"itag"
+	"itag/internal/server"
+)
+
+func main() {
+	svc := itag.NewService(itag.NewCatalog(itag.OpenMemoryStore()), 42)
+	ts := httptest.NewServer(server.New(svc, nil))
+	defer ts.Close()
+	c := &client{base: ts.URL}
+
+	// Provider and taggers register.
+	provider := c.post("/api/providers", obj{"name": "alice"})["id"].(string)
+	var taggers []string
+	for _, name := range []string{"bob", "carol", "dave"} {
+		taggers = append(taggers, c.post("/api/taggers", obj{"name": name})["id"].(string))
+	}
+	fmt.Printf("registered provider %s and %d audience taggers\n\n", provider, len(taggers))
+
+	// Project 1: simulated crowdsourcing (MTurk-like) run.
+	simProj := c.post("/api/projects", obj{
+		"provider_id": provider, "name": "web-urls", "budget": 300,
+		"pay_per_task": 0.05, "strategy": "fp-mu", "simulate": true, "num_resources": 30,
+	})["id"].(string)
+	c.post("/api/projects/"+simProj+"/start", nil)
+	waitDone(c, simProj)
+	info := c.get("/api/projects/" + simProj)
+	fmt.Printf("simulated project %s: spent %v tasks, mean stability %.4f\n",
+		simProj, info["spent"], info["mean_stability"])
+
+	// Project 2: manual audience tagging of uploaded resources.
+	manProj := c.post("/api/projects", obj{
+		"provider_id": provider, "name": "audience", "budget": 6, "pay_per_task": 0.25,
+		"strategy": "fp",
+		"resources": []obj{
+			{"id": "paper-1", "kind": "paper", "name": "iTag (ICDE'14)"},
+			{"id": "paper-2", "kind": "paper", "name": "On Incentive-Based Tagging (ICDE'13)"},
+		},
+	})["id"].(string)
+
+	posts := map[string][][]string{
+		"paper-1": {{"crowdsourcing", "tagging", "incentives"}, {"tagging", "demo", "icde"}, {"crowdsourcing", "tagging"}},
+		"paper-2": {{"tagging", "quality", "budget"}, {"allocation", "tagging", "quality"}, {"quality", "stability"}},
+	}
+	for i := 0; i < 6; i++ {
+		tagger := taggers[i%len(taggers)]
+		task := c.post("/api/projects/"+manProj+"/tasks", obj{"tagger_id": tagger})
+		rid := task["resource_id"].(string)
+		pick := posts[rid][0]
+		posts[rid] = posts[rid][1:]
+		c.post(fmt.Sprintf("/api/projects/%s/tasks/%s/submit", manProj, task["id"]), obj{"tags": pick})
+		// The provider reviews and approves the post; payment flows.
+		c.post(fmt.Sprintf("/api/projects/%s/posts/%s/%d/judge", manProj, rid, 3-len(posts[rid])), obj{"approved": true})
+	}
+
+	fmt.Println("\naudience project export:")
+	var rows []obj
+	c.getInto("/api/projects/"+manProj+"/export", &rows)
+	for _, row := range rows {
+		fmt.Printf("  %-8s posts=%v stability=%.3f tags=", row["id"], row["posts"], row["stability"])
+		if tags, ok := row["top_tags"].([]any); ok {
+			for _, tg := range tags {
+				fmt.Printf("%s ", tg.(map[string]any)["tag"])
+			}
+		}
+		fmt.Println()
+	}
+
+	// Tagger earnings after approvals.
+	fmt.Println("\ntagger earnings:")
+	for _, id := range taggers {
+		u := c.get("/api/users/" + id)
+		fmt.Printf("  %-12s rate=%.2f earned=$%.2f\n", u["name"], u["approval_rate"], u["earned_total"])
+	}
+}
+
+type obj = map[string]any
+
+type client struct{ base string }
+
+func (c *client) post(path string, body any) obj {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := http.Post(c.base+path, "application/json", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out obj
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	if resp.StatusCode >= 400 {
+		log.Fatalf("POST %s: %d %v", path, resp.StatusCode, out)
+	}
+	return out
+}
+
+func (c *client) get(path string) obj {
+	var out obj
+	c.getInto(path, &out)
+	return out
+}
+
+func (c *client) getInto(path string, out any) {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		log.Fatalf("GET %s: %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitDone(c *client, projectID string) {
+	for i := 0; i < 1000; i++ {
+		info := c.get("/api/projects/" + projectID)
+		if running, _ := info["running"].(bool); !running {
+			if spent, _ := info["spent"].(float64); spent > 0 {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("project did not finish")
+}

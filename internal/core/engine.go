@@ -1,0 +1,589 @@
+// Package core implements the iTag allocation engine: the multi-step
+// "choose resources – update model" framework of paper §II (Algorithm 1),
+// together with the manager layer of §III (Fig. 2) — Resource, Tag, Quality
+// and User managers — and the run monitoring providers use to steer
+// projects (promote/stop resources, switch strategies, add budget).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"itag/internal/crowd"
+	"itag/internal/dataset"
+	"itag/internal/quality"
+	"itag/internal/rng"
+	"itag/internal/strategy"
+	"itag/internal/users"
+)
+
+// ErrResourceExhausted is reported by replay post sources when a resource
+// has no held-out posts left; the engine stops allocating to it.
+var ErrResourceExhausted = errors.New("core: resource post source exhausted")
+
+// ErrStalled is returned by Run when the platform stops making progress
+// (e.g. every worker disqualified) with tasks still outstanding.
+var ErrStalled = errors.New("core: platform stalled with outstanding tasks")
+
+// Judge decides whether a completed task's post is approved by the
+// provider. Approved posts enter the resource's statistics and pay the
+// incentive; rejected posts consume the task but improve nothing
+// (paper §III-A approval flow).
+type Judge func(res crowd.Result) bool
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Resources is the project's resource list; index order defines the
+	// strategy-visible indices.
+	Resources []dataset.Resource
+	// SeedPosts optionally pre-loads posts per resource ID (the provider's
+	// existing tagging data — the pre-cutoff trace in the demo protocol).
+	SeedPosts map[string][][]string
+	// Strategy is the allocation strategy (required).
+	Strategy strategy.Strategy
+	// Budget B is the number of tagging tasks to spend (required > 0).
+	Budget int
+	// Batch is |Rc| per Algorithm-1 iteration (default 16).
+	Batch int
+	// Quality configures the stability metric.
+	Quality quality.Config
+	// Platform executes tasks (required).
+	Platform crowd.Platform
+	// Users optionally tracks approvals; required when Judge is set.
+	Users *users.Manager
+	// Judge optionally reviews completed posts (nil = approve all).
+	Judge Judge
+	// Ledger optionally records incentive payments.
+	Ledger *crowd.Ledger
+	// PayPerTask is the incentive per approved post.
+	PayPerTask float64
+	// ProviderID attributes approvals and payments.
+	ProviderID string
+	// TauHigh / TauLow are the monitoring thresholds for the
+	// count-above/count-below series (defaults 0.9 / 0.5).
+	TauHigh, TauLow float64
+	// Seed drives strategy randomness.
+	Seed int64
+	// MaxStallSteps aborts when the platform yields no result for this
+	// many consecutive steps with tasks outstanding (default 10000).
+	MaxStallSteps int
+	// OnPost, when set, observes every post that enters the statistics
+	// (used by the service layer to persist posts).
+	OnPost func(resourceID, taggerID string, tags []string)
+	// RecordEvery controls monitor sampling: a point every N spent tasks
+	// (default: max(1, Budget/200)).
+	RecordEvery int
+}
+
+func (c Config) validate() error {
+	if len(c.Resources) == 0 {
+		return errors.New("core: at least one resource required")
+	}
+	if c.Strategy == nil {
+		return errors.New("core: strategy required")
+	}
+	if c.Budget <= 0 {
+		return fmt.Errorf("core: budget must be positive, got %d", c.Budget)
+	}
+	if c.Platform == nil {
+		return errors.New("core: platform required")
+	}
+	if c.Judge != nil && c.Users == nil {
+		return errors.New("core: judging requires a users manager")
+	}
+	if err := c.Quality.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Engine runs Algorithm 1 for one project. It is safe to call the control
+// methods (Promote, StopResource, SwitchStrategy, AddBudget) concurrently
+// with Run.
+type Engine struct {
+	mu sync.Mutex
+
+	cfg      Config
+	r        *rand.Rand
+	strategy strategy.Strategy
+
+	resources []dataset.Resource
+	index     map[string]int
+	trackers  []*quality.Tracker
+	posts     []int // c_i + x_i (completed posts)
+	alloc     []int // x_i (tasks assigned)
+	pending   []int // manual tasks assigned but not yet submitted
+	promoted  []bool
+	stopped   []bool
+	exhausted []bool
+
+	budget  int
+	spent   int
+	taskSeq int
+
+	monitor *Monitor
+	done    bool
+}
+
+// New builds an engine, applying seed posts.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.TauHigh <= 0 {
+		cfg.TauHigh = 0.9
+	}
+	if cfg.TauLow <= 0 {
+		cfg.TauLow = 0.5
+	}
+	if cfg.MaxStallSteps <= 0 {
+		cfg.MaxStallSteps = 10000
+	}
+	if cfg.RecordEvery <= 0 {
+		cfg.RecordEvery = cfg.Budget / 200
+		if cfg.RecordEvery < 1 {
+			cfg.RecordEvery = 1
+		}
+	}
+	n := len(cfg.Resources)
+	e := &Engine{
+		cfg:       cfg,
+		r:         rng.New(cfg.Seed),
+		strategy:  cfg.Strategy,
+		resources: cfg.Resources,
+		index:     make(map[string]int, n),
+		trackers:  make([]*quality.Tracker, n),
+		posts:     make([]int, n),
+		alloc:     make([]int, n),
+		pending:   make([]int, n),
+		promoted:  make([]bool, n),
+		stopped:   make([]bool, n),
+		exhausted: make([]bool, n),
+		budget:    cfg.Budget,
+		monitor:   NewMonitor(),
+	}
+	for i, res := range cfg.Resources {
+		if res.ID == "" {
+			return nil, fmt.Errorf("core: resource %d has empty ID", i)
+		}
+		if _, dup := e.index[res.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate resource ID %q", res.ID)
+		}
+		e.index[res.ID] = i
+		e.trackers[i] = quality.NewTracker(cfg.Quality)
+	}
+	for id, posts := range cfg.SeedPosts {
+		i, ok := e.index[id]
+		if !ok {
+			return nil, fmt.Errorf("core: seed posts for unknown resource %q", id)
+		}
+		for _, tags := range posts {
+			if err := e.trackers[i].AddPost(tags); err != nil {
+				return nil, fmt.Errorf("core: seed post for %q: %w", id, err)
+			}
+			e.posts[i]++
+		}
+	}
+	e.record()
+	return e, nil
+}
+
+// view adapts engine state for strategies; exclude hides indices already
+// chosen this iteration (promoted-first picks).
+type view struct {
+	e       *Engine
+	exclude map[int]bool
+}
+
+func (v view) Len() int                 { return len(v.e.resources) }
+func (v view) Posts(i int) int          { return v.e.posts[i] + v.e.pending[i] }
+func (v view) Quality(i int) float64    { return v.e.trackers[i].Quality() }
+func (v view) Popularity(i int) float64 { return v.e.resources[i].Popularity }
+func (v view) Eligible(i int) bool {
+	return !v.e.stopped[i] && !v.e.exhausted[i] && !v.exclude[i]
+}
+
+// Run executes Algorithm 1 until the budget is exhausted or no eligible
+// resources remain.
+func (e *Engine) Run() error {
+	for {
+		done, err := e.StepOnce()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// StepOnce executes one Algorithm-1 iteration: ChooseResources, assign to
+// taggers via the platform, collect completions, Update. It returns
+// done=true when the run is finished.
+func (e *Engine) StepOnce() (bool, error) {
+	e.mu.Lock()
+	remaining := e.budget - e.spent
+	if remaining <= 0 {
+		e.done = true
+		e.mu.Unlock()
+		return true, nil
+	}
+	batch := e.cfg.Batch
+	if batch > remaining {
+		batch = remaining
+	}
+
+	// ChooseResources(): promoted resources first (paper §III-A: Promote
+	// ensures selection at the next ChooseResources), then the strategy.
+	exclude := make(map[int]bool)
+	var chosen []int
+	for i := range e.resources {
+		if len(chosen) == batch {
+			break
+		}
+		if e.promoted[i] && !e.stopped[i] && !e.exhausted[i] {
+			chosen = append(chosen, i)
+			exclude[i] = true
+			e.promoted[i] = false // promotion is one-shot
+		}
+	}
+	if len(chosen) < batch {
+		chosen = append(chosen, e.strategy.Choose(view{e: e, exclude: exclude}, batch-len(chosen), e.r)...)
+	}
+	if len(chosen) == 0 {
+		e.done = true
+		e.mu.Unlock()
+		return true, nil
+	}
+
+	// Assign Rc to taggers: publish one task per chosen resource.
+	outstanding := len(chosen)
+	for _, i := range chosen {
+		e.taskSeq++
+		t := crowd.Task{
+			ID:         fmt.Sprintf("task-%06d", e.taskSeq),
+			ProjectID:  e.cfg.ProviderID,
+			ResourceID: e.resources[i].ID,
+			Reward:     e.cfg.PayPerTask,
+		}
+		if err := e.cfg.Platform.Publish(t); err != nil {
+			e.mu.Unlock()
+			return false, fmt.Errorf("core: publish: %w", err)
+		}
+		e.alloc[i]++
+		e.spent++
+	}
+	e.mu.Unlock()
+
+	// Drive the platform until this batch completes.
+	stall := 0
+	for outstanding > 0 {
+		produced := e.cfg.Platform.Step()
+		if produced == 0 {
+			stall++
+			if stall > e.cfg.MaxStallSteps {
+				return false, fmt.Errorf("%w: %d tasks outstanding after %d idle steps",
+					ErrStalled, outstanding, stall)
+			}
+			continue
+		}
+		stall = 0
+		for _, res := range e.cfg.Platform.Collect(0) {
+			outstanding--
+			e.update(res)
+		}
+	}
+
+	e.mu.Lock()
+	e.record()
+	finished := e.budget-e.spent <= 0
+	if finished {
+		e.done = true
+	}
+	e.mu.Unlock()
+	return finished, nil
+}
+
+// update is Algorithm 1's UPDATE(): fold one completed task back into the
+// model (statistics, quality scores, approvals, payments).
+func (e *Engine) update(res crowd.Result) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[res.Task.ResourceID]
+	if !ok {
+		return // foreign result; ignore
+	}
+	if res.Err != nil {
+		// The task produced no post (replay exhausted / worker failure):
+		// mark the resource exhausted and refund the task.
+		e.exhausted[i] = true
+		e.alloc[i]--
+		e.spent--
+		e.monitor.Eventf(e.spent, "exhausted", "resource %s: %v", res.Task.ResourceID, res.Err)
+		return
+	}
+	approved := true
+	if e.cfg.Judge != nil {
+		approved = e.cfg.Judge(res)
+	}
+	if e.cfg.Users != nil && res.WorkerID != "" {
+		_ = e.cfg.Users.RecordTagJudgment(res.WorkerID, approved, e.cfg.PayPerTask)
+	}
+	if !approved {
+		// Rejected posts consume the task but contribute nothing.
+		e.monitor.Eventf(e.spent, "rejected", "post by %s on %s", res.WorkerID, res.Task.ResourceID)
+		return
+	}
+	if e.cfg.Ledger != nil && res.WorkerID != "" {
+		_ = e.cfg.Ledger.Pay(res.WorkerID, res.Task.ID, e.cfg.PayPerTask)
+	}
+	if err := e.trackers[i].AddPost(res.Tags); err != nil {
+		e.monitor.Eventf(e.spent, "bad-post", "resource %s: %v", res.Task.ResourceID, err)
+		return
+	}
+	e.posts[i]++
+	if e.cfg.OnPost != nil {
+		e.cfg.OnPost(res.Task.ResourceID, res.WorkerID, res.Tags)
+	}
+}
+
+// record samples the monitoring series (caller holds e.mu).
+func (e *Engine) record() {
+	if e.spent%e.cfg.RecordEvery != 0 && e.budget-e.spent > 0 {
+		return
+	}
+	qs := make([]float64, len(e.trackers))
+	for i, t := range e.trackers {
+		qs[i] = t.Quality()
+	}
+	x := float64(e.spent)
+	e.monitor.Record(SeriesMeanStability, x, quality.MeanQuality(qs))
+	e.monitor.Record(SeriesCountHigh, x, float64(quality.CountAtLeast(qs, e.cfg.TauHigh)))
+	e.monitor.Record(SeriesCountLow, x, float64(quality.CountBelow(qs, e.cfg.TauLow)))
+	if oq, ok := e.oracleLocked(); ok {
+		e.monitor.Record(SeriesMeanOracle, x, quality.MeanQuality(oq))
+	}
+}
+
+func (e *Engine) oracleLocked() ([]float64, bool) {
+	any := false
+	out := make([]float64, len(e.resources))
+	for i, res := range e.resources {
+		if len(res.Latent) == 0 {
+			continue
+		}
+		any = true
+		out[i] = quality.Oracle(e.cfg.Quality.Metric, e.trackers[i].Dist(), res.Latent)
+	}
+	return out, any
+}
+
+// --- control surface (the provider UI actions of §III-A) ---------------------
+
+// Promote queues a resource for guaranteed selection in the next
+// ChooseResources step.
+func (e *Engine) Promote(resourceID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[resourceID]
+	if !ok {
+		return fmt.Errorf("core: unknown resource %q", resourceID)
+	}
+	e.promoted[i] = true
+	e.monitor.Eventf(e.spent, "promote", "resource %s", resourceID)
+	return nil
+}
+
+// StopResource excludes a resource from further allocation.
+func (e *Engine) StopResource(resourceID string) error {
+	return e.setStopped(resourceID, true)
+}
+
+// ResumeResource re-enables a stopped resource.
+func (e *Engine) ResumeResource(resourceID string) error {
+	return e.setStopped(resourceID, false)
+}
+
+func (e *Engine) setStopped(resourceID string, stopped bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[resourceID]
+	if !ok {
+		return fmt.Errorf("core: unknown resource %q", resourceID)
+	}
+	e.stopped[i] = stopped
+	verb := "stop"
+	if !stopped {
+		verb = "resume"
+	}
+	e.monitor.Eventf(e.spent, verb, "resource %s", resourceID)
+	return nil
+}
+
+// SwitchStrategy replaces the allocation strategy mid-run (paper §III-A:
+// providers "change allocation strategies if they are not satisfied").
+func (e *Engine) SwitchStrategy(s strategy.Strategy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.monitor.Eventf(e.spent, "switch-strategy", "%s -> %s", e.strategy.Name(), s.Name())
+	e.strategy = s
+}
+
+// AddBudget extends the run's budget (paper §III-A: "providers may add
+// budget to the project").
+func (e *Engine) AddBudget(extra int) error {
+	if extra <= 0 {
+		return fmt.Errorf("core: budget extension must be positive, got %d", extra)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.budget += extra
+	e.done = false
+	e.monitor.Eventf(e.spent, "add-budget", "+%d (now %d)", extra, e.budget)
+	return nil
+}
+
+// --- state inspection ---------------------------------------------------------
+
+// Spent returns tasks consumed so far.
+func (e *Engine) Spent() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spent
+}
+
+// Budget returns the current total budget.
+func (e *Engine) Budget() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.budget
+}
+
+// Done reports whether the run has finished.
+func (e *Engine) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.done
+}
+
+// StrategyName returns the active strategy's name.
+func (e *Engine) StrategyName() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.strategy.Name()
+}
+
+// Posts returns a copy of per-resource post counts (c+x).
+func (e *Engine) Posts() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.posts))
+	copy(out, e.posts)
+	return out
+}
+
+// Allocation returns a copy of per-resource allocated tasks x.
+func (e *Engine) Allocation() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.alloc))
+	copy(out, e.alloc)
+	return out
+}
+
+// StabilityQualities returns the current per-resource stability qualities.
+func (e *Engine) StabilityQualities() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]float64, len(e.trackers))
+	for i, t := range e.trackers {
+		out[i] = t.Quality()
+	}
+	return out
+}
+
+// OracleQualities returns per-resource oracle qualities; ok=false when no
+// resource has a latent reference.
+func (e *Engine) OracleQualities() ([]float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.oracleLocked()
+}
+
+// MeanStability returns the paper's q(R, k̄) under the stability metric.
+func (e *Engine) MeanStability() float64 {
+	return quality.MeanQuality(e.StabilityQualities())
+}
+
+// MeanOracle returns mean oracle quality (0 if no latent references).
+func (e *Engine) MeanOracle() float64 {
+	qs, ok := e.OracleQualities()
+	if !ok {
+		return 0
+	}
+	return quality.MeanQuality(qs)
+}
+
+// Monitor exposes the run telemetry.
+func (e *Engine) Monitor() *Monitor { return e.monitor }
+
+// ResourceStatus is a snapshot of one resource's run state (the
+// single-resource details screen, paper Fig. 6).
+type ResourceStatus struct {
+	ID        string    `json:"id"`
+	Index     int       `json:"index"`
+	Posts     int       `json:"posts"`
+	Allocated int       `json:"allocated"`
+	Stability float64   `json:"stability"`
+	Oracle    float64   `json:"oracle,omitempty"`
+	Promoted  bool      `json:"promoted"`
+	Stopped   bool      `json:"stopped"`
+	Exhausted bool      `json:"exhausted"`
+	Series    []float64 `json:"series,omitempty"`
+	TopTags   []TagFreq `json:"top_tags,omitempty"`
+}
+
+// TagFreq mirrors rfd.TagFreq for JSON output.
+type TagFreq struct {
+	Tag   string  `json:"tag"`
+	Count int     `json:"count"`
+	Freq  float64 `json:"freq"`
+}
+
+// Status returns the snapshot for one resource, including its quality
+// series and top tags.
+func (e *Engine) Status(resourceID string) (ResourceStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[resourceID]
+	if !ok {
+		return ResourceStatus{}, fmt.Errorf("core: unknown resource %q", resourceID)
+	}
+	st := ResourceStatus{
+		ID:        resourceID,
+		Index:     i,
+		Posts:     e.posts[i],
+		Allocated: e.alloc[i],
+		Stability: e.trackers[i].Quality(),
+		Promoted:  e.promoted[i],
+		Stopped:   e.stopped[i],
+		Exhausted: e.exhausted[i],
+		Series:    e.trackers[i].Series(),
+	}
+	if len(e.resources[i].Latent) > 0 {
+		st.Oracle = quality.Oracle(e.cfg.Quality.Metric, e.trackers[i].Dist(), e.resources[i].Latent)
+	}
+	for _, tf := range e.trackers[i].Counts().TopK(10) {
+		st.TopTags = append(st.TopTags, TagFreq{Tag: tf.Tag, Count: tf.Count, Freq: tf.Freq})
+	}
+	return st, nil
+}
+
+// Elapsed is a convenience for run timing in reports.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

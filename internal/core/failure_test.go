@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"itag/internal/crowd"
+	"itag/internal/strategy"
+	"itag/internal/users"
+)
+
+// Failure-injection tests: the engine must finish correct runs under
+// platform abandonment, flaky post sources, and mid-run worker
+// disqualification.
+
+func TestRunSurvivesAbandonment(t *testing.T) {
+	h := newHarness(t, 10, 8, 0)
+	plat, err := crowd.NewSim(crowd.SimConfig{
+		Workers:     WorkerIDs(h.pop),
+		Post:        GenerativeSource(h.sim, h.pop, 30),
+		MeanLatency: 2,
+		AbandonProb: 0.3, // 30% of assignments walk away
+		Seed:        30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := h.engine(t, Config{Budget: 80, Batch: 8, Platform: plat, Seed: 30})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Spent() != 80 {
+		t.Errorf("spent = %d; abandoned tasks must requeue and complete", e.Spent())
+	}
+	if plat.Stats().Abandoned == 0 {
+		t.Error("expected some abandonment with p=0.3")
+	}
+}
+
+func TestRunSurvivesFlakyPostSource(t *testing.T) {
+	// The source fails on one specific resource only; the engine must mark
+	// it exhausted, refund, and finish the rest of the budget.
+	h := newHarness(t, 5, 5, 0)
+	inner := GenerativeSource(h.sim, h.pop, 31)
+	flaky := func(workerID, resourceID string) ([]string, error) {
+		if resourceID == "r0002" {
+			return nil, errors.New("worker crashed")
+		}
+		return inner(workerID, resourceID)
+	}
+	plat, err := crowd.NewSim(crowd.SimConfig{
+		Workers: WorkerIDs(h.pop), Post: flaky, MeanLatency: 1, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := h.engine(t, Config{Budget: 40, Batch: 5, Platform: plat, Strategy: &strategy.RoundRobin{}, Seed: 31})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Spent() != 40 {
+		t.Errorf("spent = %d; failed tasks must be refunded and respent elsewhere", e.Spent())
+	}
+	if e.Allocation()[2] != 0 {
+		t.Errorf("failed resource kept allocation %d", e.Allocation()[2])
+	}
+	if e.Posts()[2] != 0 {
+		t.Errorf("failed resource has %d posts", e.Posts()[2])
+	}
+	exhausted := false
+	for _, ev := range e.Monitor().Events() {
+		if ev.Kind == "exhausted" {
+			exhausted = true
+		}
+	}
+	if !exhausted {
+		t.Error("exhaustion event not recorded")
+	}
+}
+
+func TestMidRunDisqualificationShiftsWork(t *testing.T) {
+	// One worker is disqualified after a few completions; the run must
+	// still finish, with the banned worker's share frozen.
+	h := newHarness(t, 8, 4, 0)
+	var banned atomic.Bool
+	byWorker := make(map[string]int)
+	um := users.NewManager()
+	inner := GenerativeSource(h.sim, h.pop, 32)
+	counting := func(workerID, resourceID string) ([]string, error) {
+		byWorker[workerID]++ // platform Step serializes calls
+		if workerID == h.pop.Profiles[0].ID && byWorker[workerID] >= 3 {
+			banned.Store(true)
+		}
+		return inner(workerID, resourceID)
+	}
+	plat, err := crowd.NewSim(crowd.SimConfig{
+		Workers: WorkerIDs(h.pop),
+		Post:    counting,
+		Qualify: func(w string) bool {
+			return w != h.pop.Profiles[0].ID || !banned.Load()
+		},
+		MeanLatency: 1,
+		Seed:        32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := h.engine(t, Config{Budget: 60, Batch: 6, Platform: plat, Users: um, Seed: 32})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Spent() != 60 {
+		t.Errorf("spent = %d", e.Spent())
+	}
+	if got := byWorker[h.pop.Profiles[0].ID]; got > 4 {
+		t.Errorf("banned worker completed %d tasks after disqualification window", got)
+	}
+}
+
+func TestApprovalQualificationEndToEnd(t *testing.T) {
+	// Unreliable taggers get rejected by the judge, fall below the gate,
+	// and stop receiving work — their approval rates must reflect it.
+	h := newHarness(t, 10, 10, 0.4)
+	um := users.NewManager()
+	qualify := func(w string) bool { return um.Qualified(w, 0.6, 5) }
+	plat, err := crowd.NewSim(crowd.SimConfig{
+		Workers:     WorkerIDs(h.pop),
+		Post:        GenerativeSource(h.sim, h.pop, 33),
+		Qualify:     qualify,
+		MeanLatency: 1,
+		Seed:        33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := h.engine(t, Config{
+		Budget: 200, Batch: 10, Platform: plat, Seed: 33,
+		Users: um, Judge: LatentOverlapJudge(h.world, 0.5), PayPerTask: 0.01,
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Spent() != 200 {
+		t.Fatalf("spent = %d", e.Spent())
+	}
+	// Reliable taggers must end with clearly better approval rates than
+	// unreliable ones (population: first 40% unreliable).
+	var relSum, unrelSum float64
+	var relN, unrelN int
+	for i, p := range h.pop.Profiles {
+		rate := um.TaggerApprovalRate(p.ID)
+		if i < 4 {
+			unrelSum += rate
+			unrelN++
+		} else {
+			relSum += rate
+			relN++
+		}
+	}
+	if relSum/float64(relN) <= unrelSum/float64(unrelN) {
+		t.Errorf("reliable rate %.3f should exceed unreliable %.3f",
+			relSum/float64(relN), unrelSum/float64(unrelN))
+	}
+}

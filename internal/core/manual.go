@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file adds the interactive (audience-participation) path of the demo
+// (§IV): instead of the engine driving a platform of simulated taggers,
+// human taggers request tasks one at a time and submit posts
+// asynchronously. The same Algorithm-1 state is used: ChooseNext is
+// ChooseResources with |Rc|=1, and SubmitPost is UPDATE.
+
+// ChooseNext assigns the next tagging task: it debits one task from the
+// budget and returns the chosen resource ID. ok=false when the budget is
+// exhausted or nothing is eligible. While a task is outstanding the
+// resource's post count, as seen by strategies, includes it (Algorithm 1
+// increments x_i at assignment time).
+func (e *Engine) ChooseNext() (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.budget-e.spent <= 0 {
+		e.done = true
+		return "", false
+	}
+	var idx = -1
+	for i := range e.resources {
+		if e.promoted[i] && !e.stopped[i] && !e.exhausted[i] {
+			idx = i
+			e.promoted[i] = false
+			break
+		}
+	}
+	if idx < 0 {
+		chosen := e.strategy.Choose(view{e: e}, 1, e.r)
+		if len(chosen) == 0 {
+			e.done = true
+			return "", false
+		}
+		idx = chosen[0]
+	}
+	e.alloc[idx]++
+	e.pending[idx]++
+	e.spent++
+	return e.resources[idx].ID, true
+}
+
+// SubmitPost completes an outstanding manual task with the tagger's post.
+// The post enters the resource's statistics immediately; approval happens
+// post-hoc via judgments in the users manager (paper Fig. 6: providers
+// review the latest tagging from the notification feed).
+func (e *Engine) SubmitPost(resourceID, taggerID string, tags []string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[resourceID]
+	if !ok {
+		return fmt.Errorf("core: unknown resource %q", resourceID)
+	}
+	if e.pending[i] <= 0 {
+		return fmt.Errorf("core: no outstanding task for resource %q", resourceID)
+	}
+	if err := e.trackers[i].AddPost(tags); err != nil {
+		return err
+	}
+	e.pending[i]--
+	e.posts[i]++
+	if e.cfg.OnPost != nil {
+		e.cfg.OnPost(resourceID, taggerID, tags)
+	}
+	e.record()
+	return nil
+}
+
+// CancelPending releases an outstanding manual task (tagger walked away),
+// refunding the budget.
+func (e *Engine) CancelPending(resourceID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[resourceID]
+	if !ok {
+		return fmt.Errorf("core: unknown resource %q", resourceID)
+	}
+	if e.pending[i] <= 0 {
+		return fmt.Errorf("core: no outstanding task for resource %q", resourceID)
+	}
+	e.pending[i]--
+	e.alloc[i]--
+	e.spent--
+	e.monitor.Eventf(e.spent, "cancel", "resource %s", resourceID)
+	return nil
+}
+
+// PendingTasks returns the number of outstanding manual tasks.
+func (e *Engine) PendingTasks() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, p := range e.pending {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"itag/internal/metrics"
+)
+
+// Monitor collects the live run telemetry providers watch in the iTag UI
+// (paper Fig. 5: quality-score evolution; Fig. 6: per-resource status
+// changes). Series are keyed by name and indexed by budget spent, so curves
+// across strategies are directly comparable.
+type Monitor struct {
+	mu     sync.RWMutex
+	series map[string]*metrics.Series
+	events []Event
+}
+
+// Standard series names recorded by the engine.
+const (
+	SeriesMeanStability = "mean_stability"
+	SeriesMeanOracle    = "mean_oracle"
+	SeriesCountHigh     = "count_ge_tau_high"
+	SeriesCountLow      = "count_lt_tau_low"
+)
+
+// Event is one notable run occurrence (strategy switch, promote, stop, ...).
+type Event struct {
+	At     time.Time `json:"at"`
+	Spent  int       `json:"spent"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail"`
+}
+
+// NewMonitor returns an empty Monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{series: make(map[string]*metrics.Series)}
+}
+
+// Record appends y to the named series at x (budget spent).
+func (m *Monitor) Record(name string, x, y float64) {
+	m.mu.Lock()
+	s, ok := m.series[name]
+	if !ok {
+		s = metrics.NewSeries(name)
+		m.series[name] = s
+	}
+	m.mu.Unlock()
+	s.Add(x, y)
+}
+
+// Series returns the named series (nil if never recorded).
+func (m *Monitor) Series(name string) *metrics.Series {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.series[name]
+}
+
+// SeriesNames returns all recorded series names.
+func (m *Monitor) SeriesNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.series))
+	for name := range m.series {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Eventf records a formatted event.
+func (m *Monitor) Eventf(spent int, kind, format string, args ...any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{
+		At:     time.Now().UTC(),
+		Spent:  spent,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns a copy of the event log.
+func (m *Monitor) Events() []Event {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}

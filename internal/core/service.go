@@ -1,0 +1,668 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"itag/internal/crowd"
+	"itag/internal/dataset"
+	"itag/internal/rng"
+	"itag/internal/store"
+	"itag/internal/strategy"
+	"itag/internal/taggersim"
+	"itag/internal/users"
+)
+
+// Service is the top of the iTag system (paper Fig. 2): it composes the
+// Resource, Tag, Quality and User managers over the persistent catalog and
+// owns live project runs. The HTTP server and the CLI tools are thin
+// frontends over it.
+type Service struct {
+	mu      sync.Mutex
+	cat     *store.Catalog
+	um      *users.Manager
+	ledger  *crowd.Ledger
+	runs    map[string]*Run
+	nextID  int
+	seed    int64
+	nowFunc func() time.Time
+}
+
+// Run is a live project: the engine plus its simulation scaffolding.
+type Run struct {
+	ProjectID string
+	Engine    *Engine
+	World     *dataset.World // nil for uploaded (non-simulated) resources
+	Pop       *taggersim.Population
+
+	mu      sync.Mutex
+	running bool
+	runErr  error
+	doneCh  chan struct{}
+	tasks   map[string]string // manual taskID → resourceID
+	taskSeq int
+}
+
+// ErrProjectRunning is returned when an operation requires a stopped run.
+var ErrProjectRunning = errors.New("core: project run already in progress")
+
+// NewService builds a Service over a catalog.
+func NewService(cat *store.Catalog, seed int64) *Service {
+	return &Service{
+		cat:     cat,
+		um:      users.NewManager(),
+		ledger:  crowd.NewLedger(),
+		runs:    make(map[string]*Run),
+		seed:    seed,
+		nowFunc: func() time.Time { return time.Now().UTC() },
+	}
+}
+
+// Users exposes the User Manager.
+func (s *Service) Users() *users.Manager { return s.um }
+
+// Ledger exposes the payment ledger.
+func (s *Service) Ledger() *crowd.Ledger { return s.ledger }
+
+// Catalog exposes the persistent catalog.
+func (s *Service) Catalog() *store.Catalog { return s.cat }
+
+func (s *Service) newID(prefix string) string {
+	s.nextID++
+	return fmt.Sprintf("%s-%06d", prefix, s.nextID)
+}
+
+// --- users --------------------------------------------------------------------
+
+// RegisterProvider persists a provider and returns its ID.
+func (s *Service) RegisterProvider(name string) (string, error) {
+	s.mu.Lock()
+	id := s.newID("prov")
+	s.mu.Unlock()
+	s.um.RegisterProvider(id)
+	return id, s.cat.PutUser(store.UserRec{ID: id, Role: store.RoleProvider, Name: name})
+}
+
+// RegisterTagger persists a tagger and returns its ID.
+func (s *Service) RegisterTagger(name string) (string, error) {
+	s.mu.Lock()
+	id := s.newID("tag")
+	s.mu.Unlock()
+	s.um.RegisterTagger(id)
+	return id, s.cat.PutUser(store.UserRec{ID: id, Role: store.RoleTagger, Name: name})
+}
+
+// --- projects -----------------------------------------------------------------
+
+// ProjectSpec describes a new project (the Add Project screen, Fig. 4).
+type ProjectSpec struct {
+	ProviderID  string
+	Name        string
+	Description string
+	Kind        string
+	Budget      int
+	PayPerTask  float64
+	Strategy    string // strategy.Parse spec
+	Platform    string // "mturk-sim" | "social-sim"
+	// Resources to upload. When Simulate is set they are generated
+	// server-side instead (with latent distributions, enabling oracle
+	// monitoring and simulated taggers).
+	Resources    []dataset.Resource
+	Simulate     bool
+	NumResources int // used with Simulate (default 50)
+	SeedPosts    map[string][][]string
+}
+
+// CreateProject validates and persists a project with its resources.
+func (s *Service) CreateProject(spec ProjectSpec) (string, error) {
+	if spec.ProviderID == "" {
+		return "", errors.New("core: provider ID required")
+	}
+	if _, err := s.cat.GetUser(spec.ProviderID); err != nil {
+		return "", fmt.Errorf("core: unknown provider %q", spec.ProviderID)
+	}
+	if spec.Budget <= 0 {
+		return "", errors.New("core: project budget must be positive")
+	}
+	if spec.Strategy == "" {
+		spec.Strategy = "fp-mu"
+	}
+	if _, err := strategy.Parse(spec.Strategy); err != nil {
+		return "", err
+	}
+	if spec.Platform == "" {
+		spec.Platform = "mturk-sim"
+	}
+
+	s.mu.Lock()
+	id := s.newID("proj")
+	seed := s.seed + int64(s.nextID)
+	s.mu.Unlock()
+
+	var world *dataset.World
+	resources := spec.Resources
+	if spec.Simulate {
+		n := spec.NumResources
+		if n <= 0 {
+			n = 50
+		}
+		var err error
+		world, err = dataset.Generate(rng.New(seed), dataset.GeneratorConfig{NumResources: n})
+		if err != nil {
+			return "", err
+		}
+		resources = world.Dataset.Resources
+	}
+	if len(resources) == 0 {
+		return "", errors.New("core: project needs at least one resource")
+	}
+
+	err := s.cat.PutProject(store.ProjectRec{
+		ID: id, ProviderID: spec.ProviderID, Name: spec.Name,
+		Description: spec.Description, Kind: spec.Kind,
+		Budget: spec.Budget, PayPerTask: spec.PayPerTask,
+		Strategy: spec.Strategy, Platform: spec.Platform,
+		Status: store.ProjectActive, CreatedAt: s.nowFunc(),
+	})
+	if err != nil {
+		return "", err
+	}
+	for _, r := range resources {
+		if err := s.cat.PutResource(store.ResourceRec{
+			ID: r.ID, ProjectID: id, Kind: string(r.Kind), Name: r.Name,
+			Topic: r.Topic, Popularity: r.Popularity,
+		}); err != nil {
+			return "", err
+		}
+	}
+	for rid, posts := range spec.SeedPosts {
+		for _, tags := range posts {
+			if _, err := s.cat.AppendPost(store.PostRec{
+				ResourceID: rid, Tags: tags, Time: s.nowFunc(),
+			}); err != nil {
+				return "", err
+			}
+		}
+	}
+
+	strat, _ := strategy.Parse(spec.Strategy)
+	run, err := s.buildRun(id, spec, resources, world, strat, seed)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.runs[id] = run
+	s.mu.Unlock()
+	return id, nil
+}
+
+func (s *Service) buildRun(projectID string, spec ProjectSpec, resources []dataset.Resource,
+	world *dataset.World, strat strategy.Strategy, seed int64) (*Run, error) {
+
+	run := &Run{ProjectID: projectID, World: world, tasks: make(map[string]string)}
+	cfg := Config{
+		Resources:  resources,
+		SeedPosts:  spec.SeedPosts,
+		Strategy:   strat,
+		Budget:     spec.Budget,
+		Users:      s.um,
+		Ledger:     s.ledger,
+		PayPerTask: spec.PayPerTask,
+		ProviderID: spec.ProviderID,
+		Seed:       seed,
+		OnPost: func(resourceID, taggerID string, tags []string) {
+			_, _ = s.cat.AppendPost(store.PostRec{
+				ResourceID: resourceID, TaggerID: taggerID,
+				Tags: tags, Time: s.nowFunc(),
+			})
+		},
+	}
+	if world != nil {
+		pop, err := taggersim.NewPopulation(rng.New(seed+1), taggersim.PopulationConfig{Size: 40, UnreliableFraction: 0.1})
+		if err != nil {
+			return nil, err
+		}
+		run.Pop = pop
+		sim := taggersim.NewSimulator(world)
+		qualify := func(w string) bool { return s.um.Qualified(w, 0.5, 10) }
+		var plat crowd.Platform
+		var perr error
+		if spec.Platform == "social-sim" {
+			plat, perr = crowd.NewSocialSim(WorkerIDs(pop), GenerativeSource(sim, pop, seed+2), qualify, seed+3)
+		} else {
+			plat, perr = crowd.NewMTurkSim(WorkerIDs(pop), GenerativeSource(sim, pop, seed+2), qualify, seed+3)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		cfg.Platform = plat
+		cfg.Judge = LatentOverlapJudge(world, 0.5)
+	} else {
+		// Uploaded resources: manual tagging only; a platform is still
+		// required by the engine config, but never driven (ChooseNext /
+		// SubmitPost bypass it).
+		plat, perr := crowd.NewSim(crowd.SimConfig{
+			Workers: SyntheticWorkerIDs(1),
+			Post: func(w, r string) ([]string, error) {
+				return nil, errors.New("core: manual project has no simulated taggers")
+			},
+			Seed: seed,
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		cfg.Platform = plat
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run.Engine = eng
+	return run, nil
+}
+
+// LatentOverlapJudge approves a post when at least minOverlap of its tags
+// appear in the resource's latent distribution — the simulated provider's
+// review standard for E7.
+func LatentOverlapJudge(world *dataset.World, minOverlap float64) Judge {
+	index := world.Dataset.Index()
+	return func(res crowd.Result) bool {
+		i, ok := index[res.Task.ResourceID]
+		if !ok || len(res.Tags) == 0 {
+			return false
+		}
+		latent := world.Dataset.Resources[i].Latent
+		hits := 0
+		for _, tag := range res.Tags {
+			if _, in := latent[tag]; in {
+				hits++
+			}
+		}
+		return float64(hits)/float64(len(res.Tags)) >= minOverlap
+	}
+}
+
+func (s *Service) run(projectID string) (*Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.runs[projectID]
+	if !ok {
+		return nil, fmt.Errorf("core: no live run for project %q", projectID)
+	}
+	return run, nil
+}
+
+// StartSimulation launches the project's engine in the background
+// (simulated-tagger mode); it is an error for manual projects or if already
+// running.
+func (s *Service) StartSimulation(projectID string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	if run.World == nil {
+		return errors.New("core: project has uploaded resources; use the manual task flow")
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if run.running {
+		return ErrProjectRunning
+	}
+	run.running = true
+	run.doneCh = make(chan struct{})
+	go func() {
+		err := run.Engine.Run()
+		run.mu.Lock()
+		run.runErr = err
+		run.running = false
+		close(run.doneCh)
+		run.mu.Unlock()
+		s.finishProject(projectID, err)
+	}()
+	return nil
+}
+
+func (s *Service) finishProject(projectID string, runErr error) {
+	rec, err := s.cat.GetProject(projectID)
+	if err != nil {
+		return
+	}
+	if run, rerr := s.run(projectID); rerr == nil {
+		rec.Spent = run.Engine.Spent()
+	}
+	if runErr == nil {
+		rec.Status = store.ProjectDone
+	}
+	_ = s.cat.PutProject(rec)
+}
+
+// WaitSimulation blocks until the background run finishes and returns its
+// error.
+func (s *Service) WaitSimulation(projectID string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	run.mu.Lock()
+	ch := run.doneCh
+	run.mu.Unlock()
+	if ch == nil {
+		return errors.New("core: simulation was never started")
+	}
+	<-ch
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	return run.runErr
+}
+
+// --- provider controls ----------------------------------------------------------
+
+// Promote forwards to the project's engine.
+func (s *Service) Promote(projectID, resourceID string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	return run.Engine.Promote(resourceID)
+}
+
+// StopResource forwards to the project's engine.
+func (s *Service) StopResource(projectID, resourceID string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	if err := run.Engine.StopResource(resourceID); err != nil {
+		return err
+	}
+	return s.flagResource(resourceID, func(r *store.ResourceRec) { r.Stopped = true })
+}
+
+// ResumeResource forwards to the project's engine.
+func (s *Service) ResumeResource(projectID, resourceID string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	if err := run.Engine.ResumeResource(resourceID); err != nil {
+		return err
+	}
+	return s.flagResource(resourceID, func(r *store.ResourceRec) { r.Stopped = false })
+}
+
+func (s *Service) flagResource(resourceID string, mut func(*store.ResourceRec)) error {
+	rec, err := s.cat.GetResource(resourceID)
+	if err != nil {
+		return err
+	}
+	mut(&rec)
+	return s.cat.PutResource(rec)
+}
+
+// SwitchStrategy changes a project's allocation strategy mid-run.
+func (s *Service) SwitchStrategy(projectID, spec string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	strat, err := strategy.Parse(spec)
+	if err != nil {
+		return err
+	}
+	run.Engine.SwitchStrategy(strat)
+	rec, err := s.cat.GetProject(projectID)
+	if err != nil {
+		return err
+	}
+	rec.Strategy = spec
+	return s.cat.PutProject(rec)
+}
+
+// AddBudget extends a project's budget.
+func (s *Service) AddBudget(projectID string, extra int) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	if err := run.Engine.AddBudget(extra); err != nil {
+		return err
+	}
+	rec, err := s.cat.GetProject(projectID)
+	if err != nil {
+		return err
+	}
+	rec.Budget += extra
+	rec.Status = store.ProjectActive
+	return s.cat.PutProject(rec)
+}
+
+// StopProject halts further allocation (the Stop button on the main UI).
+func (s *Service) StopProject(projectID string) error {
+	rec, err := s.cat.GetProject(projectID)
+	if err != nil {
+		return err
+	}
+	rec.Status = store.ProjectStopped
+	if run, rerr := s.run(projectID); rerr == nil {
+		// Stop all resources so the engine drains.
+		for _, res := range run.Engine.cfg.Resources {
+			_ = run.Engine.StopResource(res.ID)
+		}
+		rec.Spent = run.Engine.Spent()
+	}
+	return s.cat.PutProject(rec)
+}
+
+// --- views ----------------------------------------------------------------------
+
+// ProjectInfo merges the persisted project with live run state (the main
+// provider UI row, Fig. 3).
+type ProjectInfo struct {
+	Project       store.ProjectRec `json:"project"`
+	Spent         int              `json:"spent"`
+	MeanStability float64          `json:"mean_stability"`
+	MeanOracle    float64          `json:"mean_oracle,omitempty"`
+	Running       bool             `json:"running"`
+	StrategyName  string           `json:"strategy_name"`
+	PendingTasks  int              `json:"pending_tasks"`
+}
+
+// Project returns one project's info.
+func (s *Service) Project(projectID string) (ProjectInfo, error) {
+	rec, err := s.cat.GetProject(projectID)
+	if err != nil {
+		return ProjectInfo{}, err
+	}
+	info := ProjectInfo{Project: rec, Spent: rec.Spent, StrategyName: rec.Strategy}
+	if run, rerr := s.run(projectID); rerr == nil {
+		info.Spent = run.Engine.Spent()
+		info.MeanStability = run.Engine.MeanStability()
+		info.MeanOracle = run.Engine.MeanOracle()
+		info.StrategyName = run.Engine.StrategyName()
+		info.PendingTasks = run.Engine.PendingTasks()
+		run.mu.Lock()
+		info.Running = run.running
+		run.mu.Unlock()
+	}
+	return info, nil
+}
+
+// Projects lists projects (optionally by provider), sorted by ID.
+func (s *Service) Projects(providerID string) ([]ProjectInfo, error) {
+	recs, err := s.cat.ListProjects(providerID)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	out := make([]ProjectInfo, 0, len(recs))
+	for _, rec := range recs {
+		info, err := s.Project(rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// ResourceDetail returns the single-resource details (Fig. 6).
+func (s *Service) ResourceDetail(projectID, resourceID string) (ResourceStatus, error) {
+	run, err := s.run(projectID)
+	if err != nil {
+		return ResourceStatus{}, err
+	}
+	return run.Engine.Status(resourceID)
+}
+
+// QualitySeries returns a monitoring series for the project details screen
+// (Fig. 5).
+func (s *Service) QualitySeries(projectID, name string) ([]float64, []float64, error) {
+	run, err := s.run(projectID)
+	if err != nil {
+		return nil, nil, err
+	}
+	series := run.Engine.Monitor().Series(name)
+	if series == nil {
+		return nil, nil, fmt.Errorf("core: no series %q", name)
+	}
+	pts := series.Points()
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	return xs, ys, nil
+}
+
+// --- manual (audience participation) flow -----------------------------------------
+
+// RequestTask assigns the next tagging task to a human tagger (Fig. 7/8).
+func (s *Service) RequestTask(projectID, taggerID string) (store.TaskRec, error) {
+	if _, err := s.cat.GetUser(taggerID); err != nil {
+		return store.TaskRec{}, fmt.Errorf("core: unknown tagger %q", taggerID)
+	}
+	run, err := s.run(projectID)
+	if err != nil {
+		return store.TaskRec{}, err
+	}
+	resourceID, ok := run.Engine.ChooseNext()
+	if !ok {
+		return store.TaskRec{}, errors.New("core: project budget exhausted")
+	}
+	run.mu.Lock()
+	run.taskSeq++
+	taskID := fmt.Sprintf("%s-task-%05d", projectID, run.taskSeq)
+	run.tasks[taskID] = resourceID
+	run.mu.Unlock()
+	rec := store.TaskRec{
+		ID: taskID, ProjectID: projectID, ResourceID: resourceID,
+		WorkerID: taggerID, Status: store.TaskAssigned,
+		CreatedAt: s.nowFunc(),
+	}
+	if p, err := s.cat.GetProject(projectID); err == nil {
+		rec.Reward = p.PayPerTask
+	}
+	return rec, s.cat.PutTask(rec)
+}
+
+// SubmitTask completes a manual task with the tagger's post.
+func (s *Service) SubmitTask(projectID, taskID string, tags []string) error {
+	run, err := s.run(projectID)
+	if err != nil {
+		return err
+	}
+	run.mu.Lock()
+	resourceID, ok := run.tasks[taskID]
+	if ok {
+		delete(run.tasks, taskID)
+	}
+	run.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown or already-completed task %q", taskID)
+	}
+	rec, err := s.cat.GetTask(projectID, taskID)
+	if err != nil {
+		return err
+	}
+	if err := run.Engine.SubmitPost(resourceID, rec.WorkerID, tags); err != nil {
+		// Task stays consumable? No: restore mapping so the tagger can fix
+		// the post (e.g. empty tags).
+		run.mu.Lock()
+		run.tasks[taskID] = resourceID
+		run.mu.Unlock()
+		return err
+	}
+	rec.Status = store.TaskCompleted
+	rec.DoneAt = s.nowFunc()
+	return s.cat.PutTask(rec)
+}
+
+// JudgePost records the provider's approval verdict on a stored post and,
+// on approval, pays the incentive (Fig. 6 Notification actions).
+func (s *Service) JudgePost(projectID, resourceID string, seq uint64, approved bool) error {
+	post, err := s.cat.GetPost(resourceID, seq)
+	if err != nil {
+		return err
+	}
+	if post.Approved != nil {
+		return fmt.Errorf("core: post %s/%d already judged", resourceID, seq)
+	}
+	post.Approved = &approved
+	if err := s.cat.UpdatePost(resourceID, seq, post); err != nil {
+		return err
+	}
+	proj, err := s.cat.GetProject(projectID)
+	if err != nil {
+		return err
+	}
+	if post.TaggerID != "" {
+		if err := s.um.RecordTagJudgment(post.TaggerID, approved, proj.PayPerTask); err != nil {
+			return err
+		}
+		if approved {
+			_ = s.ledger.Pay(post.TaggerID, fmt.Sprintf("%s/%d", resourceID, seq), proj.PayPerTask)
+		}
+	}
+	return nil
+}
+
+// RateProvider records a tagger's rating of a provider.
+func (s *Service) RateProvider(providerID string, positive bool) {
+	s.um.RecordProviderRating(providerID, positive)
+}
+
+// ExportedResource is one row of a project export (the Export action).
+type ExportedResource struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Posts     int       `json:"posts"`
+	Stability float64   `json:"stability"`
+	TopTags   []TagFreq `json:"top_tags"`
+}
+
+// Export returns the project's resources with their consolidated tags.
+func (s *Service) Export(projectID string) ([]ExportedResource, error) {
+	run, err := s.run(projectID)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := s.cat.ListResources(projectID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExportedResource, 0, len(recs))
+	for _, rec := range recs {
+		st, err := run.Engine.Status(rec.ID)
+		if err != nil {
+			continue
+		}
+		out = append(out, ExportedResource{
+			ID: rec.ID, Name: rec.Name, Posts: st.Posts,
+			Stability: st.Stability, TopTags: st.TopTags,
+		})
+	}
+	return out, nil
+}

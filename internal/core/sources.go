@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"itag/internal/crowd"
+	"itag/internal/rng"
+	"itag/internal/taggersim"
+)
+
+// This file wires the two post sources behind the crowd platform:
+//
+//   - GenerativeSource: workers are simulated taggers producing posts from
+//     the behaviour model (the demo's "simulated taggers", §IV).
+//   - ReplaySource: posts come from the held-out future of a trace (the
+//     demo's Delicious replay protocol, §IV).
+
+// GenerativeSource returns a PostFunc that produces each worker's post via
+// the tagger behaviour model. Worker IDs must be profile IDs from pop;
+// unknown workers fall back to the population's first profile.
+func GenerativeSource(sim *taggersim.Simulator, pop *taggersim.Population, seed int64) crowd.PostFunc {
+	var mu sync.Mutex
+	r := rng.New(seed)
+	return func(workerID, resourceID string) ([]string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		prof, ok := pop.ByID(workerID)
+		if !ok {
+			prof = &pop.Profiles[0]
+		}
+		return sim.GeneratePost(r, prof, resourceID)
+	}
+}
+
+// ReplaySource returns a PostFunc that replays held-out trace posts; once a
+// resource's future is exhausted it reports ErrResourceExhausted, which the
+// engine treats as "stop allocating here" with a budget refund.
+func ReplaySource(rp *taggersim.Replayer) crowd.PostFunc {
+	var mu sync.Mutex
+	return func(workerID, resourceID string) ([]string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		p, ok := rp.Next(resourceID)
+		if !ok {
+			return nil, ErrResourceExhausted
+		}
+		return p.Tags, nil
+	}
+}
+
+// WorkerIDs extracts the platform worker list from a population.
+func WorkerIDs(pop *taggersim.Population) []string {
+	out := make([]string, 0, pop.Size())
+	for i := range pop.Profiles {
+		out = append(out, pop.Profiles[i].ID)
+	}
+	return out
+}
+
+// SyntheticWorkerIDs mints worker IDs for replay platforms (replay posts
+// already embed the original tagger; the worker identity only matters for
+// scheduling).
+func SyntheticWorkerIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replay-worker-%04d", i)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package metrics provides the small numeric containers the monitoring and
+// experiment layers share: time series of labeled points, streaming
+// mean/variance, and histogram summaries for report output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one (x, y) sample of a series (x is typically budget spent or a
+// step counter).
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Series is an append-only time series, safe for concurrent use.
+type Series struct {
+	mu     sync.RWMutex
+	name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{name: name}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{X: x, Y: y})
+	s.mu.Unlock()
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.points)
+}
+
+// Points returns a copy of the points.
+func (s *Series) Points() []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Last returns the most recent point; ok=false when empty.
+func (s *Series) Last() (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// CSV renders the series as "x,y" lines with a header.
+func (s *Series) CSV() string {
+	pts := s.Points()
+	var b strings.Builder
+	fmt.Fprintf(&b, "x,%s\n", s.name)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%g,%g\n", p.X, p.Y)
+	}
+	return b.String()
+}
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 for fewer than 2 observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Histogram counts observations into fixed-width buckets over [lo, hi);
+// values outside the range clamp into the edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	n       int
+}
+
+// NewHistogram builds a histogram with the given bucket count over [lo, hi).
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("metrics: bucket count must be positive, got %d", buckets)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("metrics: invalid range [%v, %v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// Counts returns a copy of the bucket counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// N returns the total observations.
+func (h *Histogram) N() int { return h.n }
+
+// BucketLabel returns the "[lo,hi)" label of bucket i.
+func (h *Histogram) BucketLabel(i int) string {
+	w := (h.hi - h.lo) / float64(len(h.buckets))
+	return fmt.Sprintf("[%.2f,%.2f)", h.lo+float64(i)*w, h.lo+float64(i+1)*w)
+}
+
+// Mean returns the arithmetic mean of a slice (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of a slice (0 when empty); input not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("quality")
+	if s.Name() != "quality" {
+		t.Error("name")
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("empty series must have no last point")
+	}
+	s.Add(1, 0.5)
+	s.Add(2, 0.7)
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.X != 2 || last.Y != 0.7 {
+		t.Errorf("last = %+v", last)
+	}
+	pts := s.Points()
+	pts[0].Y = -1
+	if s.Points()[0].Y == -1 {
+		t.Error("Points must return a copy")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("q")
+	s.Add(0, 0.25)
+	s.Add(10, 0.5)
+	got := s.CSV()
+	want := "x,q\n0,0.25\n10,0.5\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	if !strings.HasPrefix(got, "x,q\n") {
+		t.Error("missing header")
+	}
+}
+
+func TestSeriesConcurrent(t *testing.T) {
+	s := NewSeries("c")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Add(float64(i), float64(i))
+				_ = s.Len()
+				_, _ = s.Last()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 4000 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("empty Welford must be zero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Errorf("var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Errorf("std = %v", w.Std())
+	}
+	var single Welford
+	single.Add(3)
+	if single.Var() != 0 {
+		t.Error("variance with n=1 must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets must fail")
+	}
+	if _, err := NewHistogram(1, 1, 5); err == nil {
+		t.Error("empty range must fail")
+	}
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.1, 0.3, 0.3, 0.8, -5, 5} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	if counts[0] != 2 { // 0.1 and clamped -5
+		t.Errorf("bucket 0 = %d", counts[0])
+	}
+	if counts[1] != 2 {
+		t.Errorf("bucket 1 = %d", counts[1])
+	}
+	if counts[3] != 2 { // 0.8 and clamped 5
+		t.Errorf("bucket 3 = %d", counts[3])
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.BucketLabel(0) != "[0.00,0.25)" {
+		t.Errorf("label = %s", h.BucketLabel(0))
+	}
+	counts[0] = 99
+	if h.Counts()[0] == 99 {
+		t.Error("Counts must return a copy")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	in := []float64{3, 1, 2}
+	_ = Median(in)
+	if in[0] != 3 {
+		t.Error("Median must not reorder input")
+	}
+}

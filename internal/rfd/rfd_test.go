@@ -1,0 +1,387 @@
+package rfd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddPostRejectsEmpty(t *testing.T) {
+	c := NewCounts()
+	if err := c.AddPost(nil); err == nil {
+		t.Error("empty post must be rejected")
+	}
+	if err := c.AddPost([]string{"  ", ""}); err == nil {
+		t.Error("whitespace-only post must be rejected")
+	}
+	if c.Posts() != 0 {
+		t.Errorf("rejected posts must not count, got %d", c.Posts())
+	}
+}
+
+func TestAddPostDeduplicatesWithinPost(t *testing.T) {
+	c := NewCounts()
+	if err := c.AddPost([]string{"go", "GO", " go "}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count("go") != 1 {
+		t.Errorf("duplicate tags within a post must count once, got %d", c.Count("go"))
+	}
+	if c.Posts() != 1 || c.Total() != 1 || c.Distinct() != 1 {
+		t.Errorf("posts=%d total=%d distinct=%d", c.Posts(), c.Total(), c.Distinct())
+	}
+}
+
+func TestCountsAccumulation(t *testing.T) {
+	c := NewCounts()
+	mustAdd(t, c, "db", "go")
+	mustAdd(t, c, "db")
+	mustAdd(t, c, "db", "sql")
+	if c.Posts() != 3 || c.Total() != 5 {
+		t.Fatalf("posts=%d total=%d", c.Posts(), c.Total())
+	}
+	d := c.Dist()
+	if math.Abs(d["db"]-0.6) > 1e-12 || math.Abs(d["go"]-0.2) > 1e-12 || math.Abs(d["sql"]-0.2) > 1e-12 {
+		t.Errorf("dist = %v", d)
+	}
+}
+
+func TestDistIsCopy(t *testing.T) {
+	c := NewCounts()
+	mustAdd(t, c, "a")
+	d := c.Dist()
+	d["a"] = 99
+	if got := c.Dist()["a"]; got != 1 {
+		t.Errorf("mutating returned dist affected accumulator: %v", got)
+	}
+}
+
+func TestZeroValueCountsUsable(t *testing.T) {
+	var c Counts
+	if err := c.AddPost([]string{"x"}); err != nil {
+		t.Fatalf("zero value must be usable: %v", err)
+	}
+	if c.Posts() != 1 {
+		t.Error("zero-value accumulation failed")
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	c := NewCounts()
+	mustAdd(t, c, "b", "a")
+	mustAdd(t, c, "b", "c")
+	got := c.TopK(3)
+	if len(got) != 3 {
+		t.Fatalf("got %d entries", len(got))
+	}
+	if got[0].Tag != "b" || got[0].Count != 2 {
+		t.Errorf("top entry = %+v", got[0])
+	}
+	// a and c tie at 1; lexicographic order.
+	if got[1].Tag != "a" || got[2].Tag != "c" {
+		t.Errorf("tie order: %v, %v", got[1], got[2])
+	}
+	if math.Abs(got[0].Freq-0.5) > 1e-12 {
+		t.Errorf("freq = %v", got[0].Freq)
+	}
+	if n := len(c.TopK(1)); n != 1 {
+		t.Errorf("TopK(1) returned %d", n)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := NewCounts()
+	mustAdd(t, c, "x", "y")
+	cl := c.Clone()
+	mustAdd(t, cl, "z")
+	if c.Posts() != 1 || cl.Posts() != 2 {
+		t.Error("clone must be independent")
+	}
+	if !reflect.DeepEqual(c.Dist(), Dist{"x": 0.5, "y": 0.5}) {
+		t.Errorf("original mutated: %v", c.Dist())
+	}
+}
+
+func TestHistorySnapshots(t *testing.T) {
+	h := NewHistory(4)
+	mustAddH(t, h, "a")
+	mustAddH(t, h, "b")
+	mustAddH(t, h, "b")
+	cur := h.Current()
+	if math.Abs(cur["b"]-2.0/3.0) > 1e-12 {
+		t.Errorf("current = %v", cur)
+	}
+	prev, ok := h.Back(1)
+	if !ok || math.Abs(prev["a"]-0.5) > 1e-12 {
+		t.Errorf("back(1) = %v ok=%v", prev, ok)
+	}
+	first, ok := h.Back(2)
+	if !ok || first["a"] != 1 {
+		t.Errorf("back(2) = %v ok=%v", first, ok)
+	}
+	if _, ok := h.Back(3); ok {
+		t.Error("back(3) should not exist after 3 posts")
+	}
+	if h.Depth() != 3 {
+		t.Errorf("depth = %d", h.Depth())
+	}
+}
+
+func TestHistoryRingEviction(t *testing.T) {
+	h := NewHistory(3)
+	for i := 0; i < 10; i++ {
+		mustAddH(t, h, "t")
+	}
+	if h.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", h.Depth())
+	}
+	if _, ok := h.Back(2); !ok {
+		t.Error("back(2) must be retained")
+	}
+	if _, ok := h.Back(3); ok {
+		t.Error("back(3) must be evicted")
+	}
+	if h.Posts() != 10 {
+		t.Errorf("posts = %d", h.Posts())
+	}
+}
+
+func TestHistoryEmptyCurrent(t *testing.T) {
+	h := NewHistory(0)
+	if len(h.Current()) != 0 {
+		t.Error("empty history must return empty dist")
+	}
+	if _, ok := h.Back(0); ok {
+		t.Error("no snapshots yet")
+	}
+}
+
+func TestCosineBasics(t *testing.T) {
+	a := Dist{"x": 0.5, "y": 0.5}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self-similarity = %v", got)
+	}
+	b := Dist{"z": 1}
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("disjoint similarity = %v", got)
+	}
+	if got := Cosine(a, Dist{}); got != 0 {
+		t.Errorf("empty similarity = %v", got)
+	}
+	if got := Cosine(Dist{}, Dist{}); got != 0 {
+		t.Errorf("both-empty similarity = %v", got)
+	}
+}
+
+func TestL1Basics(t *testing.T) {
+	a := Dist{"x": 1}
+	b := Dist{"y": 1}
+	if got := L1(a, b); math.Abs(got-2) > 1e-12 {
+		t.Errorf("disjoint L1 = %v, want 2", got)
+	}
+	if got := L1(a, a); got != 0 {
+		t.Errorf("identity L1 = %v", got)
+	}
+}
+
+func TestKLAndJSD(t *testing.T) {
+	a := Dist{"x": 0.9, "y": 0.1}
+	b := Dist{"x": 0.1, "y": 0.9}
+	if got := KL(a, a); got > 1e-9 {
+		t.Errorf("KL(a,a) = %v", got)
+	}
+	if KL(a, b) <= 0 {
+		t.Error("KL of distinct dists must be positive")
+	}
+	j := JSD(a, b)
+	if j <= 0 || j > math.Log(2)+1e-9 {
+		t.Errorf("JSD = %v, want (0, ln2]", j)
+	}
+	if math.Abs(JSD(a, b)-JSD(b, a)) > 1e-12 {
+		t.Error("JSD must be symmetric")
+	}
+}
+
+func TestHellingerBounds(t *testing.T) {
+	a := Dist{"x": 1}
+	b := Dist{"y": 1}
+	if got := Hellinger(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("disjoint Hellinger = %v, want 1", got)
+	}
+	if got := Hellinger(a, a); got > 1e-9 {
+		t.Errorf("identity Hellinger = %v", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(Dist{"x": 1}); got != 0 {
+		t.Errorf("point mass entropy = %v", got)
+	}
+	u := Dist{"a": 0.25, "b": 0.25, "c": 0.25, "d": 0.25}
+	if got := Entropy(u); math.Abs(got-math.Log(4)) > 1e-9 {
+		t.Errorf("uniform entropy = %v, want %v", got, math.Log(4))
+	}
+}
+
+func TestSupportSumNormalized(t *testing.T) {
+	d := Dist{"a": 2, "b": 2, "c": 0}
+	if Support(d) != 2 {
+		t.Errorf("support = %d", Support(d))
+	}
+	n := Normalized(d)
+	if math.Abs(Sum(n)-1) > 1e-12 {
+		t.Errorf("normalized sum = %v", Sum(n))
+	}
+	if len(Normalized(Dist{})) != 0 {
+		t.Error("normalizing empty must stay empty")
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	d := FromCounts(map[string]int{"a": 3, "b": 1})
+	if math.Abs(d["a"]-0.75) > 1e-12 {
+		t.Errorf("FromCounts = %v", d)
+	}
+	if len(FromCounts(nil)) != 0 {
+		t.Error("nil counts must give empty dist")
+	}
+}
+
+func TestNormalizeTag(t *testing.T) {
+	if Normalize("  GoLang ") != "golang" {
+		t.Error("normalize failed")
+	}
+}
+
+// --- property tests ----------------------------------------------------------
+
+func randomDist(r *rand.Rand, maxTags int) Dist {
+	n := r.Intn(maxTags) + 1
+	d := make(Dist, n)
+	var sum float64
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64() + 1e-6
+		sum += vals[i]
+	}
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	for i, v := range vals {
+		tag := string(letters[i%len(letters)]) + string(letters[(i/len(letters))%len(letters)])
+		d[tag] = v / sum
+	}
+	return d
+}
+
+func TestPropertyDistanceAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		a := randomDist(r, 12)
+		b := randomDist(r, 12)
+		if got := Cosine(a, b); got < 0 || got > 1 {
+			t.Fatalf("cosine out of range: %v", got)
+		}
+		if math.Abs(Cosine(a, b)-Cosine(b, a)) > 1e-12 {
+			t.Fatal("cosine must be symmetric")
+		}
+		if got := L1(a, b); got < 0 || got > 2+1e-9 {
+			t.Fatalf("L1 out of range: %v", got)
+		}
+		if math.Abs(L1(a, b)-L1(b, a)) > 1e-12 {
+			t.Fatal("L1 must be symmetric")
+		}
+		if got := Hellinger(a, b); got < 0 || got > 1+1e-9 {
+			t.Fatalf("hellinger out of range: %v", got)
+		}
+		if JSD(a, b) < 0 {
+			t.Fatal("JSD must be non-negative")
+		}
+		c := randomDist(r, 12)
+		// Triangle inequality holds for L1, L2, Hellinger (true metrics).
+		if L1(a, c) > L1(a, b)+L1(b, c)+1e-9 {
+			t.Fatal("L1 triangle inequality violated")
+		}
+		if L2(a, c) > L2(a, b)+L2(b, c)+1e-9 {
+			t.Fatal("L2 triangle inequality violated")
+		}
+		if Hellinger(a, c) > Hellinger(a, b)+Hellinger(b, c)+1e-9 {
+			t.Fatal("Hellinger triangle inequality violated")
+		}
+	}
+}
+
+func TestPropertyDistAlwaysNormalized(t *testing.T) {
+	f := func(posts [][3]uint8) bool {
+		c := NewCounts()
+		added := 0
+		tags := []string{"a", "b", "c", "d", "e", "f", "g"}
+		for _, p := range posts {
+			set := []string{tags[int(p[0])%len(tags)], tags[int(p[1])%len(tags)], tags[int(p[2])%len(tags)]}
+			if err := c.AddPost(set); err == nil {
+				added++
+			}
+		}
+		if added == 0 {
+			return len(c.Dist()) == 0
+		}
+		return math.Abs(Sum(c.Dist())-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHistoryCurrentMatchesCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	h := NewHistory(8)
+	c := NewCounts()
+	tags := []string{"w", "x", "y", "z"}
+	for i := 0; i < 200; i++ {
+		k := r.Intn(3) + 1
+		post := make([]string, 0, k)
+		for j := 0; j < k; j++ {
+			post = append(post, tags[r.Intn(len(tags))])
+		}
+		_ = h.AddPost(post)
+		_ = c.AddPost(post)
+		if !reflect.DeepEqual(h.Current(), c.Dist()) {
+			t.Fatalf("step %d: history current diverged from counts", i)
+		}
+	}
+}
+
+func mustAdd(t *testing.T, c *Counts, tags ...string) {
+	t.Helper()
+	if err := c.AddPost(tags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAddH(t *testing.T, h *History, tags ...string) {
+	t.Helper()
+	if err := h.AddPost(tags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddPost(b *testing.B) {
+	c := NewCounts()
+	post := []string{"database", "go", "systems", "tagging"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.AddPost(post)
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomDist(r, 50)
+	c := randomDist(r, 50)
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = Cosine(a, c)
+	}
+	_ = s
+}

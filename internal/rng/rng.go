@@ -1,0 +1,266 @@
+// Package rng provides deterministic, seedable random samplers used by the
+// iTag simulation substrate: Zipf/power-law popularity, categorical sampling
+// via the alias method, and small discrete distributions (Poisson,
+// geometric, bounded normal). All samplers take an explicit *rand.Rand so
+// that every experiment in this repository is reproducible from a seed.
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// New returns a rand.Rand seeded deterministically.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf draws values in [0, n) with P(k) proportional to 1/(k+1)^s.
+//
+// It differs from math/rand.Zipf in that s may be any positive value
+// (including s <= 1, which the stdlib forbids) because tagging popularity
+// exponents reported for Delicious-like traces are frequently near or
+// below 1. Sampling uses the alias method over the explicit finite support.
+type Zipf struct {
+	alias *Categorical
+	n     int
+	s     float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rng: zipf support size must be positive, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("rng: zipf exponent must be positive and finite, got %v", s)
+	}
+	w := make([]float64, n)
+	for k := 0; k < n; k++ {
+		w[k] = math.Pow(float64(k+1), -s)
+	}
+	alias, err := NewCategorical(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{alias: alias, n: n, s: s}, nil
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Sample draws one value in [0, n).
+func (z *Zipf) Sample(r *rand.Rand) int { return z.alias.Sample(r) }
+
+// Prob returns P(k).
+func (z *Zipf) Prob(k int) float64 { return z.alias.Prob(k) }
+
+// Categorical samples from an arbitrary finite discrete distribution in O(1)
+// per draw using Vose's alias method.
+type Categorical struct {
+	prob  []float64 // acceptance probability per column
+	alias []int     // alternative outcome per column
+	p     []float64 // normalized probabilities, for Prob()
+}
+
+// ErrEmptyWeights is returned when no positive weight is supplied.
+var ErrEmptyWeights = errors.New("rng: categorical requires at least one positive weight")
+
+// NewCategorical builds an alias table from non-negative weights. Weights
+// need not be normalized. At least one weight must be positive; negative,
+// NaN or infinite weights are rejected.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmptyWeights
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: weight %d invalid: %v", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrEmptyWeights
+	}
+
+	c := &Categorical{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		p:     make([]float64, n),
+	}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		c.p[i] = w / total
+		scaled[i] = c.p[i] * float64(n)
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[l] = scaled[l]
+		c.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		c.prob[g] = 1
+		c.alias[g] = g
+	}
+	for _, l := range small { // numerical residue
+		c.prob[l] = 1
+		c.alias[l] = l
+	}
+	return c, nil
+}
+
+// Sample draws one outcome index.
+func (c *Categorical) Sample(r *rand.Rand) int {
+	col := r.Intn(len(c.prob))
+	if r.Float64() < c.prob[col] {
+		return col
+	}
+	return c.alias[col]
+}
+
+// Prob returns the normalized probability of outcome k.
+func (c *Categorical) Prob(k int) float64 {
+	if k < 0 || k >= len(c.p) {
+		return 0
+	}
+	return c.p[k]
+}
+
+// Len returns the number of outcomes.
+func (c *Categorical) Len() int { return len(c.p) }
+
+// Poisson draws from a Poisson distribution with the given mean using
+// Knuth's method for small means and a normal approximation above 30.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation with continuity correction; adequate for the
+		// workload-size draws this package serves.
+		v := int(math.Round(r.NormFloat64()*math.Sqrt(mean) + mean))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	limit := math.Exp(-mean)
+	p := 1.0
+	k := 0
+	for p > limit {
+		k++
+		p *= r.Float64()
+	}
+	return k - 1
+}
+
+// Geometric draws the number of failures before the first success for a
+// Bernoulli(p) process; p must be in (0, 1].
+func Geometric(r *rand.Rand, p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// BoundedNormal draws round(N(mean, sd)) clamped into [lo, hi].
+func BoundedNormal(r *rand.Rand, mean, sd float64, lo, hi int) int {
+	v := int(math.Round(r.NormFloat64()*sd + mean))
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Bernoulli reports true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Shuffled returns a new slice holding a uniformly random permutation of
+// [0, n).
+func Shuffled(r *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// SampleWithoutReplacement draws k distinct values from [0, n). If k >= n it
+// returns all n values in random order.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if k >= n {
+		return Shuffled(r, n)
+	}
+	// Floyd's algorithm.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// WeightedTopK returns the indices of the k largest weights, ties broken by
+// lower index. It is a helper for deterministic strategy variants.
+func WeightedTopK(weights []float64, k int) []int {
+	idx := make([]int, len(weights))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,333 @@
+package rng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	cases := []struct {
+		n int
+		s float64
+	}{
+		{0, 1.0}, {-3, 1.0}, {10, 0}, {10, -1}, {10, math.NaN()}, {10, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := NewZipf(c.n, c.s); err == nil {
+			t.Errorf("NewZipf(%d, %v): expected error", c.n, c.s)
+		}
+	}
+	if _, err := NewZipf(5, 0.7); err != nil {
+		t.Fatalf("NewZipf(5, 0.7): %v", err)
+	}
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z, err := NewZipf(100, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, err := NewZipf(50, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < z.N(); k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-12 {
+			t.Fatalf("P(%d)=%v > P(%d)=%v; Zipf must be non-increasing", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesTheoretical(t *testing.T) {
+	z, err := NewZipf(20, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(42)
+	const draws = 200000
+	counts := make([]int, z.N())
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k := 0; k < z.N(); k++ {
+		emp := float64(counts[k]) / draws
+		if math.Abs(emp-z.Prob(k)) > 0.01 {
+			t.Errorf("outcome %d: empirical %v vs theoretical %v", k, emp, z.Prob(k))
+		}
+	}
+}
+
+func TestCategoricalRejectsBadWeights(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for i, w := range bad {
+		if _, err := NewCategorical(w); err == nil {
+			t.Errorf("case %d: expected error for weights %v", i, w)
+		}
+	}
+}
+
+func TestCategoricalSingleOutcome(t *testing.T) {
+	c, err := NewCategorical([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if got := c.Sample(r); got != 0 {
+			t.Fatalf("single-outcome sampler returned %d", got)
+		}
+	}
+	if c.Prob(0) != 1 {
+		t.Errorf("Prob(0)=%v, want 1", c.Prob(0))
+	}
+	if c.Prob(1) != 0 || c.Prob(-1) != 0 {
+		t.Error("out-of-range Prob must be 0")
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	c, err := NewCategorical([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if c.Sample(r) == 1 {
+			t.Fatal("sampled outcome with zero weight")
+		}
+	}
+}
+
+func TestCategoricalEmpirical(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	c, err := NewCategorical(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(99)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[c.Sample(r)]++
+	}
+	for k := range weights {
+		emp := float64(counts[k]) / draws
+		want := weights[k] / 10.0
+		if math.Abs(emp-want) > 0.005 {
+			t.Errorf("outcome %d: empirical %v vs want %v", k, emp, want)
+		}
+	}
+}
+
+func TestCategoricalProbNormalizationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		any := false
+		for i, v := range raw {
+			w[i] = float64(v)
+			if v > 0 {
+				any = true
+			}
+		}
+		c, err := NewCategorical(w)
+		if !any {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for k := 0; k < c.Len(); k++ {
+			sum += c.Prob(k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonMeanAndEdge(t *testing.T) {
+	r := New(5)
+	if Poisson(r, 0) != 0 || Poisson(r, -2) != 0 {
+		t.Error("non-positive mean must give 0")
+	}
+	for _, mean := range []float64{0.5, 3, 12, 50} {
+		sum := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			sum += Poisson(r, mean)
+		}
+		got := float64(sum) / draws
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("mean %v: empirical mean %v", mean, got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(11)
+	if Geometric(r, 1) != 0 {
+		t.Error("p=1 must give 0 failures")
+	}
+	p := 0.25
+	sum := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		sum += Geometric(r, p)
+	}
+	got := float64(sum) / draws
+	want := (1 - p) / p // 3
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("geometric mean %v, want %v", got, want)
+	}
+}
+
+func TestBoundedNormalClamps(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := BoundedNormal(r, 5, 10, 1, 8)
+		if v < 1 || v > 8 {
+			t.Fatalf("value %d outside [1,8]", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(17)
+	if Bernoulli(r, 0) || Bernoulli(r, -1) {
+		t.Error("p<=0 must be false")
+	}
+	if !Bernoulli(r, 1) || !Bernoulli(r, 2) {
+		t.Error("p>=1 must be true")
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) empirical %v", got)
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	r := New(8)
+	out := Shuffled(r, 100)
+	seen := make([]bool, 100)
+	for _, v := range out {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(21)
+	for _, tc := range []struct{ n, k int }{{10, 3}, {10, 10}, {10, 15}, {1, 1}} {
+		out := SampleWithoutReplacement(r, tc.n, tc.k)
+		wantLen := tc.k
+		if wantLen > tc.n {
+			wantLen = tc.n
+		}
+		if len(out) != wantLen {
+			t.Fatalf("n=%d k=%d: got %d values", tc.n, tc.k, len(out))
+		}
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("n=%d k=%d: invalid/duplicate value %d", tc.n, tc.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniformity(t *testing.T) {
+	r := New(33)
+	counts := make([]int, 5)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		for _, v := range SampleWithoutReplacement(r, 5, 2) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-0.4) > 0.02 { // each of 5 appears in 2/5 of draws
+			t.Errorf("value %d frequency %v, want 0.4", v, got)
+		}
+	}
+}
+
+func TestWeightedTopK(t *testing.T) {
+	w := []float64{0.1, 0.9, 0.5, 0.9}
+	got := WeightedTopK(w, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("WeightedTopK = %v, want [1 3]", got)
+	}
+	if got := WeightedTopK(w, 10); len(got) != 4 {
+		t.Errorf("k beyond len: got %d values", len(got))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	z1, _ := NewZipf(30, 1.3)
+	z2, _ := NewZipf(30, 1.3)
+	for i := 0; i < 1000; i++ {
+		if z1.Sample(a) != z2.Sample(b) {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+var sinkInt int
+
+func BenchmarkZipfSample(b *testing.B) {
+	z, _ := NewZipf(10000, 1.1)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = z.Sample(r)
+	}
+}
+
+func BenchmarkCategoricalSample(b *testing.B) {
+	w := make([]float64, 10000)
+	for i := range w {
+		w[i] = float64(i%17 + 1)
+	}
+	c, _ := NewCategorical(w)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = c.Sample(r)
+	}
+}

@@ -1,0 +1,428 @@
+// Package server exposes the iTag system over an HTTP JSON API — the
+// scriptable equivalent of the provider and tagger web UIs in the demo
+// (paper Figs. 3–8). Every UI action maps to one endpoint:
+//
+//	POST /api/providers                       register provider
+//	POST /api/taggers                         register tagger
+//	GET  /api/users/{id}                      approval rate / earnings
+//	POST /api/providers/{id}/rate             tagger rates a provider
+//
+//	GET  /api/projects?provider=ID            main provider screen (Fig. 3)
+//	POST /api/projects                        Add Project (Fig. 4)
+//	GET  /api/projects/{id}                   project row + live stats
+//	POST /api/projects/{id}/start             run with simulated taggers
+//	POST /api/projects/{id}/stop              Stop project
+//	POST /api/projects/{id}/budget            add budget
+//	POST /api/projects/{id}/strategy          switch strategy (Fig. 5)
+//	GET  /api/projects/{id}/series?name=N     quality curve (Fig. 5)
+//	GET  /api/projects/{id}/export            export tagged resources
+//	GET  /api/projects/{id}/resources/{rid}   single resource (Fig. 6)
+//	POST /api/projects/{id}/resources/{rid}/promote|stop|resume
+//
+//	POST /api/projects/{id}/tasks             tagger requests a task (Fig. 7)
+//	POST /api/projects/{id}/tasks/{tid}/submit   tagging screen (Fig. 8)
+//	POST /api/projects/{id}/posts/{rid}/{seq}/judge  approve/disapprove
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"itag/internal/core"
+	"itag/internal/dataset"
+	"itag/internal/store"
+)
+
+// Server is the HTTP frontend over a core.Service.
+type Server struct {
+	svc *core.Service
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New builds a Server; logger may be nil for silence.
+func New(svc *core.Service, logger *log.Logger) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.log != nil {
+		s.log.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /api/providers", s.handleRegisterProvider)
+	s.mux.HandleFunc("POST /api/taggers", s.handleRegisterTagger)
+	s.mux.HandleFunc("GET /api/users/{id}", s.handleGetUser)
+	s.mux.HandleFunc("POST /api/providers/{id}/rate", s.handleRateProvider)
+
+	s.mux.HandleFunc("GET /api/projects", s.handleListProjects)
+	s.mux.HandleFunc("POST /api/projects", s.handleCreateProject)
+	s.mux.HandleFunc("GET /api/projects/{id}", s.handleGetProject)
+	s.mux.HandleFunc("POST /api/projects/{id}/start", s.handleStartProject)
+	s.mux.HandleFunc("POST /api/projects/{id}/stop", s.handleStopProject)
+	s.mux.HandleFunc("POST /api/projects/{id}/budget", s.handleAddBudget)
+	s.mux.HandleFunc("POST /api/projects/{id}/strategy", s.handleSwitchStrategy)
+	s.mux.HandleFunc("GET /api/projects/{id}/series", s.handleSeries)
+	s.mux.HandleFunc("GET /api/projects/{id}/export", s.handleExport)
+	s.mux.HandleFunc("GET /api/projects/{id}/resources/{rid}", s.handleResourceDetail)
+	s.mux.HandleFunc("POST /api/projects/{id}/resources/{rid}/promote", s.resourceAction((*core.Service).Promote))
+	s.mux.HandleFunc("POST /api/projects/{id}/resources/{rid}/stop", s.resourceAction((*core.Service).StopResource))
+	s.mux.HandleFunc("POST /api/projects/{id}/resources/{rid}/resume", s.resourceAction((*core.Service).ResumeResource))
+
+	s.mux.HandleFunc("POST /api/projects/{id}/tasks", s.handleRequestTask)
+	s.mux.HandleFunc("POST /api/projects/{id}/tasks/{tid}/submit", s.handleSubmitTask)
+	s.mux.HandleFunc("POST /api/projects/{id}/posts/{rid}/{seq}/judge", s.handleJudgePost)
+}
+
+// --- helpers -------------------------------------------------------------------
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrProjectRunning):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// --- users --------------------------------------------------------------------
+
+type registerReq struct {
+	Name string `json:"name"`
+}
+
+type registerResp struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleRegisterProvider(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.RegisterProvider(req.Name)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerResp{ID: id})
+}
+
+func (s *Server) handleRegisterTagger(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.RegisterTagger(req.Name)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerResp{ID: id})
+}
+
+type userResp struct {
+	store.UserRec
+	ApprovalRate float64 `json:"approval_rate"`
+	Earned       float64 `json:"earned_total"`
+}
+
+func (s *Server) handleGetUser(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.svc.Catalog().GetUser(id)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	resp := userResp{UserRec: rec}
+	if rec.Role == store.RoleTagger {
+		resp.ApprovalRate = s.svc.Users().TaggerApprovalRate(id)
+		resp.Earned = s.svc.Ledger().Earned(id)
+	} else {
+		resp.ApprovalRate = s.svc.Users().ProviderApprovalRate(id)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type rateReq struct {
+	Positive bool `json:"positive"`
+}
+
+func (s *Server) handleRateProvider(w http.ResponseWriter, r *http.Request) {
+	var req rateReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id := r.PathValue("id")
+	if _, err := s.svc.Catalog().GetUser(id); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	s.svc.RateProvider(id, req.Positive)
+	writeJSON(w, http.StatusOK, map[string]bool{"recorded": true})
+}
+
+// --- projects -----------------------------------------------------------------
+
+// CreateProjectReq is the Add Project form (Fig. 4).
+type CreateProjectReq struct {
+	ProviderID   string             `json:"provider_id"`
+	Name         string             `json:"name"`
+	Description  string             `json:"description,omitempty"`
+	Kind         string             `json:"kind,omitempty"`
+	Budget       int                `json:"budget"`
+	PayPerTask   float64            `json:"pay_per_task"`
+	Strategy     string             `json:"strategy,omitempty"`
+	Platform     string             `json:"platform,omitempty"`
+	Simulate     bool               `json:"simulate,omitempty"`
+	NumResources int                `json:"num_resources,omitempty"`
+	Resources    []UploadedResource `json:"resources,omitempty"`
+}
+
+// UploadedResource is one uploaded resource row.
+type UploadedResource struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+}
+
+func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
+	var req CreateProjectReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := core.ProjectSpec{
+		ProviderID: req.ProviderID, Name: req.Name, Description: req.Description,
+		Kind: req.Kind, Budget: req.Budget, PayPerTask: req.PayPerTask,
+		Strategy: req.Strategy, Platform: req.Platform,
+		Simulate: req.Simulate, NumResources: req.NumResources,
+	}
+	for _, ur := range req.Resources {
+		spec.Resources = append(spec.Resources, dataset.Resource{
+			ID: ur.ID, Kind: dataset.Kind(ur.Kind), Name: ur.Name, Popularity: 1,
+		})
+	}
+	id, err := s.svc.CreateProject(spec)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerResp{ID: id})
+}
+
+func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.svc.Projects(r.URL.Query().Get("provider"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetProject(w http.ResponseWriter, r *http.Request) {
+	info, err := s.svc.Project(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleStartProject(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.StartSimulation(r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]bool{"started": true})
+}
+
+func (s *Server) handleStopProject(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.StopProject(r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"stopped": true})
+}
+
+type budgetReq struct {
+	Extra int `json:"extra"`
+}
+
+func (s *Server) handleAddBudget(w http.ResponseWriter, r *http.Request) {
+	var req budgetReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.AddBudget(r.PathValue("id"), req.Extra); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"added": true})
+}
+
+type strategyReq struct {
+	Strategy string `json:"strategy"`
+}
+
+func (s *Server) handleSwitchStrategy(w http.ResponseWriter, r *http.Request) {
+	var req strategyReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.SwitchStrategy(r.PathValue("id"), req.Strategy); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"switched": true})
+}
+
+type seriesResp struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = core.SeriesMeanStability
+	}
+	xs, ys, err := s.svc.QualitySeries(r.PathValue("id"), name)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, seriesResp{Name: name, X: xs, Y: ys})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	rows, err := s.svc.Export(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleResourceDetail(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.ResourceDetail(r.PathValue("id"), r.PathValue("rid"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) resourceAction(action func(*core.Service, string, string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := action(s.svc, r.PathValue("id"), r.PathValue("rid")); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}
+}
+
+// --- tagger flow ----------------------------------------------------------------
+
+type requestTaskReq struct {
+	TaggerID string `json:"tagger_id"`
+}
+
+func (s *Server) handleRequestTask(w http.ResponseWriter, r *http.Request) {
+	var req requestTaskReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	task, err := s.svc.RequestTask(r.PathValue("id"), req.TaggerID)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, task)
+}
+
+type submitTaskReq struct {
+	Tags []string `json:"tags"`
+}
+
+func (s *Server) handleSubmitTask(w http.ResponseWriter, r *http.Request) {
+	var req submitTaskReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.SubmitTask(r.PathValue("id"), r.PathValue("tid"), req.Tags); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"submitted": true})
+}
+
+type judgeReq struct {
+	Approved bool `json:"approved"`
+}
+
+func (s *Server) handleJudgePost(w http.ResponseWriter, r *http.Request) {
+	var req judgeReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid post sequence: %w", err))
+		return
+	}
+	if err := s.svc.JudgePost(r.PathValue("id"), r.PathValue("rid"), seq, req.Approved); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"judged": true})
+}

@@ -1,0 +1,474 @@
+// Package store is an embedded, durable table store — the Go substitute for
+// the MySQL database under the original PHP/Python iTag system (paper §III,
+// Fig. 2). The four managers persist resources, posts, projects, tasks and
+// users through it.
+//
+// Design: a single append-only write-ahead log (WAL) of JSON records backs
+// any number of named tables (key → JSON value). Mutations are appended to
+// the WAL before being applied in memory; Open replays the log to recover
+// state, tolerating a torn final record. Batches are single WAL records and
+// therefore atomic across tables. Compact rewrites the log as a snapshot.
+// A DB opened with an empty path is purely in-memory (used by simulations
+// and benchmarks that do not need durability).
+//
+// The store is safe for concurrent use.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op is a WAL operation type.
+type Op string
+
+// WAL operation types.
+const (
+	OpPut    Op = "put"
+	OpDelete Op = "del"
+	OpBatch  Op = "batch"
+)
+
+// Record is one WAL entry. A batch record carries sub-records (which must
+// not themselves be batches).
+type Record struct {
+	Seq   uint64          `json:"seq"`
+	Op    Op              `json:"op"`
+	Table string          `json:"table,omitempty"`
+	Key   string          `json:"key,omitempty"`
+	Value json.RawMessage `json:"value,omitempty"`
+	Batch []Record        `json:"batch,omitempty"`
+}
+
+// ErrClosed is returned for operations on a closed DB.
+var ErrClosed = errors.New("store: database is closed")
+
+// ErrNotFound is returned by Get-style helpers when the key is absent.
+var ErrNotFound = errors.New("store: key not found")
+
+// DB is an embedded multi-table store.
+type DB struct {
+	mu     sync.RWMutex
+	path   string
+	file   *os.File
+	w      *bufio.Writer
+	tables map[string]map[string][]byte
+	seq    uint64
+	closed bool
+	// syncEvery controls fsync frequency; 0 means never (tests/benchmarks),
+	// 1 means every record.
+	syncEvery int
+	sinceSync int
+}
+
+// Options configures Open.
+type Options struct {
+	// SyncEvery fsyncs the WAL after every N records (0 disables fsync;
+	// durability then depends on OS flush). Default 0.
+	SyncEvery int
+}
+
+// OpenMemory returns a volatile in-memory DB.
+func OpenMemory() *DB {
+	return &DB{tables: make(map[string]map[string][]byte)}
+}
+
+// Open opens (creating if needed) a DB backed by the WAL file at path and
+// replays it.
+func Open(path string, opts Options) (*DB, error) {
+	if path == "" {
+		return nil, errors.New("store: path required; use OpenMemory for volatile stores")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir: %w", err)
+	}
+	db := &DB{
+		path:      path,
+		tables:    make(map[string]map[string][]byte),
+		syncEvery: opts.SyncEvery,
+	}
+	if err := db.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	db.file = f
+	db.w = bufio.NewWriter(f)
+	return db, nil
+}
+
+// replay loads the WAL into memory. A final corrupt (torn) line stops
+// replay without error; corruption earlier in the log is reported.
+func (db *DB) replay() error {
+	f, err := os.Open(db.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: open for replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var lastGood uint64
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec Record
+			if jerr := json.Unmarshal(bytes.TrimSpace(line), &rec); jerr != nil {
+				if err == nil {
+					// Corruption mid-log: there is data after this line.
+					return fmt.Errorf("store: corrupt wal record at line %d: %v", lineNo, jerr)
+				}
+				break // torn final record: recover up to the previous one
+			}
+			db.applyLocked(rec)
+			lastGood = rec.Seq
+		}
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("store: read wal: %w", err)
+		}
+	}
+	db.seq = lastGood
+	return nil
+}
+
+// applyLocked applies a record to the in-memory state (caller holds lock or
+// is in single-threaded recovery).
+func (db *DB) applyLocked(rec Record) {
+	switch rec.Op {
+	case OpPut:
+		t := db.tables[rec.Table]
+		if t == nil {
+			t = make(map[string][]byte)
+			db.tables[rec.Table] = t
+		}
+		t[rec.Key] = append([]byte(nil), rec.Value...)
+	case OpDelete:
+		if t := db.tables[rec.Table]; t != nil {
+			delete(t, rec.Key)
+		}
+	case OpBatch:
+		for _, sub := range rec.Batch {
+			if sub.Op != OpBatch {
+				db.applyLocked(sub)
+			}
+		}
+	}
+}
+
+// appendLocked writes a record to the WAL (no-op for in-memory DBs).
+func (db *DB) appendLocked(rec Record) error {
+	if db.w == nil {
+		return nil
+	}
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode wal record: %w", err)
+	}
+	if _, err := db.w.Write(enc); err != nil {
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	if err := db.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	if err := db.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush wal: %w", err)
+	}
+	if db.syncEvery > 0 {
+		db.sinceSync++
+		if db.sinceSync >= db.syncEvery {
+			if err := db.file.Sync(); err != nil {
+				return fmt.Errorf("store: sync wal: %w", err)
+			}
+			db.sinceSync = 0
+		}
+	}
+	return nil
+}
+
+// Put stores value (JSON-marshaled) under (table, key).
+func (db *DB) Put(table, key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("store: marshal value: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	rec := Record{Seq: db.seq, Op: OpPut, Table: table, Key: key, Value: raw}
+	if err := db.appendLocked(rec); err != nil {
+		return err
+	}
+	db.applyLocked(rec)
+	return nil
+}
+
+// Get unmarshals the value at (table, key) into out. It returns ErrNotFound
+// if absent.
+func (db *DB) Get(table, key string, out any) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	t := db.tables[table]
+	raw, ok := t[key]
+	if !ok {
+		return ErrNotFound
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Has reports whether (table, key) exists.
+func (db *DB) Has(table, key string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[table][key]
+	return ok
+}
+
+// Delete removes (table, key); deleting a missing key is not an error.
+func (db *DB) Delete(table, key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	rec := Record{Seq: db.seq, Op: OpDelete, Table: table, Key: key}
+	if err := db.appendLocked(rec); err != nil {
+		return err
+	}
+	db.applyLocked(rec)
+	return nil
+}
+
+// Mutation is one entry of an atomic batch.
+type Mutation struct {
+	Op    Op
+	Table string
+	Key   string
+	Value any // ignored for deletes
+}
+
+// Apply executes mutations atomically: they are written as one WAL record,
+// so recovery sees all or none.
+func (db *DB) Apply(muts []Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	subs := make([]Record, 0, len(muts))
+	for i, m := range muts {
+		switch m.Op {
+		case OpPut:
+			raw, err := json.Marshal(m.Value)
+			if err != nil {
+				return fmt.Errorf("store: marshal batch value %d: %w", i, err)
+			}
+			subs = append(subs, Record{Op: OpPut, Table: m.Table, Key: m.Key, Value: raw})
+		case OpDelete:
+			subs = append(subs, Record{Op: OpDelete, Table: m.Table, Key: m.Key})
+		default:
+			return fmt.Errorf("store: batch mutation %d has invalid op %q", i, m.Op)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	rec := Record{Seq: db.seq, Op: OpBatch, Batch: subs}
+	if err := db.appendLocked(rec); err != nil {
+		return err
+	}
+	db.applyLocked(rec)
+	return nil
+}
+
+// Scan visits every (key, raw JSON value) of a table in ascending key order;
+// fn returning false stops the scan.
+func (db *DB) Scan(table string, fn func(key string, raw []byte) bool) {
+	db.ScanPrefix(table, "", fn)
+}
+
+// ScanPrefix visits keys with the given prefix in ascending order.
+func (db *DB) ScanPrefix(table, prefix string, fn func(key string, raw []byte) bool) {
+	db.mu.RLock()
+	t := db.tables[table]
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	// Copy values under lock so callbacks run lock-free.
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = t[k]
+	}
+	db.mu.RUnlock()
+	for i, k := range keys {
+		if !fn(k, vals[i]) {
+			return
+		}
+	}
+}
+
+// Count returns the number of keys in a table.
+func (db *DB) Count(table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.tables[table])
+}
+
+// Tables returns the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seq returns the last applied WAL sequence number.
+func (db *DB) Seq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// Sync forces the WAL to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.w == nil {
+		return nil
+	}
+	if err := db.w.Flush(); err != nil {
+		return err
+	}
+	return db.file.Sync()
+}
+
+// Compact rewrites the WAL as a snapshot of current state, dropping
+// superseded records. The swap is atomic (write temp + rename).
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.w == nil {
+		return nil // in-memory: nothing to compact
+	}
+	if err := db.w.Flush(); err != nil {
+		return err
+	}
+	tmp := db.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	var seq uint64
+	tables := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		tables = append(tables, name)
+	}
+	sort.Strings(tables)
+	for _, name := range tables {
+		keys := make([]string, 0, len(db.tables[name]))
+		for k := range db.tables[name] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			seq++
+			rec := Record{Seq: seq, Op: OpPut, Table: name, Key: k, Value: db.tables[name][k]}
+			if err := enc.Encode(&rec); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("store: compact encode: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := db.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, db.path); err != nil {
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact reopen: %w", err)
+	}
+	db.file = nf
+	db.w = bufio.NewWriter(nf)
+	db.seq = seq
+	return nil
+}
+
+// Close flushes and closes the WAL. Further operations return ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.w != nil {
+		if err := db.w.Flush(); err != nil {
+			db.file.Close()
+			return err
+		}
+		if err := db.file.Sync(); err != nil {
+			db.file.Close()
+			return err
+		}
+		return db.file.Close()
+	}
+	return nil
+}
+
+// Path returns the WAL path ("" for in-memory DBs).
+func (db *DB) Path() string { return db.path }

@@ -1,0 +1,439 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type kv struct {
+	V string `json:"v"`
+	N int    `json:"n"`
+}
+
+func openTemp(t *testing.T) (*DB, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, path
+}
+
+func TestOpenRequiresPath(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Error("empty path must be rejected")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := OpenMemory()
+	if err := db.Put("t", "k1", kv{V: "hello", N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got kv
+	if err := db.Get("t", "k1", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.V != "hello" || got.N != 7 {
+		t.Errorf("got %+v", got)
+	}
+	if !db.Has("t", "k1") || db.Has("t", "nope") {
+		t.Error("Has misbehaving")
+	}
+	if err := db.Delete("t", "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Get("t", "k1", &got); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	if err := db.Delete("t", "never-existed"); err != nil {
+		t.Errorf("deleting missing key must be a no-op: %v", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db := OpenMemory()
+	_ = db.Put("t", "k", kv{N: 1})
+	_ = db.Put("t", "k", kv{N: 2})
+	var got kv
+	if err := db.Get("t", "k", &got); err != nil || got.N != 2 {
+		t.Errorf("got %+v, %v", got, err)
+	}
+	if db.Count("t") != 1 {
+		t.Errorf("count = %d", db.Count("t"))
+	}
+}
+
+func TestScanOrderAndPrefix(t *testing.T) {
+	db := OpenMemory()
+	for _, k := range []string{"b/2", "a/1", "b/1", "c"} {
+		if err := db.Put("t", k, kv{V: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	db.Scan("t", func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []string{"a/1", "b/1", "b/2", "c"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("scan order = %v, want %v", keys, want)
+	}
+	keys = nil
+	db.ScanPrefix("t", "b/", func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !reflect.DeepEqual(keys, []string{"b/1", "b/2"}) {
+		t.Errorf("prefix scan = %v", keys)
+	}
+	// Early stop.
+	n := 0
+	db.Scan("t", func(string, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	db, path := openTemp(t)
+	for i := 0; i < 50; i++ {
+		if err := db.Put("posts", fmt.Sprintf("r1/%03d", i), kv{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = db.Delete("posts", "r1/010")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Count("posts"); got != 49 {
+		t.Errorf("recovered count = %d, want 49", got)
+	}
+	var v kv
+	if err := db2.Get("posts", "r1/042", &v); err != nil || v.N != 42 {
+		t.Errorf("recovered value: %+v, %v", v, err)
+	}
+	if db2.Has("posts", "r1/010") {
+		t.Error("deleted key resurrected after recovery")
+	}
+	if db2.Seq() == 0 {
+		t.Error("sequence must be recovered")
+	}
+}
+
+func TestWALTornFinalRecordTolerated(t *testing.T) {
+	db, path := openTemp(t)
+	_ = db.Put("t", "a", kv{N: 1})
+	_ = db.Put("t", "b", kv{N: 2})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: partial JSON with no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"put","table":"t","key":"c","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("torn final record must be tolerated: %v", err)
+	}
+	defer db2.Close()
+	if db2.Count("t") != 2 {
+		t.Errorf("count = %d, want 2", db2.Count("t"))
+	}
+	if db2.Has("t", "c") {
+		t.Error("torn record must not be applied")
+	}
+	// The DB must still accept writes after recovery.
+	if err := db2.Put("t", "c", kv{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALMidLogCorruptionReported(t *testing.T) {
+	db, path := openTemp(t)
+	_ = db.Put("t", "a", kv{N: 1})
+	_ = db.Close()
+	// Corrupt the first line, then append a valid-looking second line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte("XX"), data...)
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Error("mid-log corruption must be reported, not silently dropped")
+	}
+}
+
+func TestBatchAtomicVisible(t *testing.T) {
+	db, path := openTemp(t)
+	err := db.Apply([]Mutation{
+		{Op: OpPut, Table: "a", Key: "x", Value: kv{N: 1}},
+		{Op: OpPut, Table: "b", Key: "y", Value: kv{N: 2}},
+		{Op: OpDelete, Table: "a", Key: "never"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Close()
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Has("a", "x") || !db2.Has("b", "y") {
+		t.Error("batch mutations lost on recovery")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	db := OpenMemory()
+	if err := db.Apply(nil); err != nil {
+		t.Errorf("empty batch must be a no-op: %v", err)
+	}
+	err := db.Apply([]Mutation{{Op: Op("wat"), Table: "a", Key: "x"}})
+	if err == nil {
+		t.Error("invalid op must be rejected")
+	}
+	if db.Count("a") != 0 {
+		t.Error("rejected batch must not apply")
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	db, _ := openTemp(t)
+	_ = db.Close()
+	if err := db.Put("t", "k", kv{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put on closed: %v", err)
+	}
+	if err := db.Get("t", "k", &kv{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed: %v", err)
+	}
+	if err := db.Delete("t", "k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete on closed: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double close must be fine: %v", err)
+	}
+}
+
+func TestCompactShrinksAndPreserves(t *testing.T) {
+	db, path := openTemp(t)
+	for i := 0; i < 200; i++ {
+		_ = db.Put("t", "hot", kv{N: i}) // same key overwritten
+	}
+	_ = db.Put("t", "cold", kv{N: -1})
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	var got kv
+	if err := db.Get("t", "hot", &got); err != nil || got.N != 199 {
+		t.Errorf("after compact: %+v, %v", got, err)
+	}
+	// Writes after compaction must persist.
+	if err := db.Put("t", "post-compact", kv{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Close()
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Has("t", "post-compact") || !db2.Has("t", "cold") {
+		t.Error("state lost across compact+reopen")
+	}
+}
+
+func TestInMemoryNoFiles(t *testing.T) {
+	db := OpenMemory()
+	if db.Path() != "" {
+		t.Error("memory DB must have empty path")
+	}
+	if err := db.Compact(); err != nil {
+		t.Errorf("compact on memory DB must be no-op: %v", err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Errorf("sync on memory DB must be no-op: %v", err)
+	}
+}
+
+func TestTablesList(t *testing.T) {
+	db := OpenMemory()
+	_ = db.Put("zeta", "k", kv{})
+	_ = db.Put("alpha", "k", kv{})
+	if got := db.Tables(); !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Errorf("tables = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := OpenMemory()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d/%d", g, i)
+				if err := db.Put("t", key, kv{N: i}); err != nil {
+					t.Error(err)
+					return
+				}
+				var v kv
+				if err := db.Get("t", key, &v); err != nil {
+					t.Error(err)
+					return
+				}
+				db.Scan("t", func(string, []byte) bool { return false })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Count("t") != 1600 {
+		t.Errorf("count = %d", db.Count("t"))
+	}
+}
+
+func TestPropertyWALReplayEquivalence(t *testing.T) {
+	// Any sequence of puts/deletes applied through the WAL must recover to
+	// exactly the same state.
+	f := func(ops []struct {
+		Del bool
+		Key uint8
+		Val int
+	}) bool {
+		dir, err := os.MkdirTemp("", "storeprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "wal.jsonl")
+		db, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		shadow := make(map[string]int)
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.Key%16)
+			if op.Del {
+				if err := db.Delete("t", key); err != nil {
+					return false
+				}
+				delete(shadow, key)
+			} else {
+				if err := db.Put("t", key, kv{N: op.Val}); err != nil {
+					return false
+				}
+				shadow[key] = op.Val
+			}
+		}
+		if err := db.Close(); err != nil {
+			return false
+		}
+		db2, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		if db2.Count("t") != len(shadow) {
+			return false
+		}
+		for k, n := range shadow {
+			var v kv
+			if err := db2.Get("t", k, &v); err != nil || v.N != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncEveryOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(path, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Put("t", fmt.Sprintf("k%d", i), kv{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	db := OpenMemory()
+	v := kv{V: "benchmark-value", N: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Put("t", fmt.Sprintf("k%d", i%100000), v)
+	}
+}
+
+func BenchmarkPutWAL(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "wal.jsonl")
+	db, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	v := kv{V: "benchmark-value", N: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Put("t", fmt.Sprintf("k%d", i%100000), v)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	db := OpenMemory()
+	for i := 0; i < 10000; i++ {
+		_ = db.Put("t", fmt.Sprintf("k%d", i), kv{N: i})
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	var v kv
+	for i := 0; i < b.N; i++ {
+		_ = db.Get("t", fmt.Sprintf("k%d", r.Intn(10000)), &v)
+	}
+}

@@ -1,0 +1,387 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file defines the typed catalog over the generic DB: the schemas the
+// iTag managers persist (resources, posts, projects, tasks, users) and the
+// key layouts that make their access paths indexed scans.
+//
+// Key layout:
+//
+//	resources/<resourceID>                 → ResourceRec
+//	posts/<resourceID>/<seq 12-digit>      → PostRec   (post sequence order)
+//	projects/<projectID>                   → ProjectRec
+//	tasks/<projectID>/<taskID>             → TaskRec
+//	users/<userID>                         → UserRec
+
+// Table names.
+const (
+	TableResources = "resources"
+	TablePosts     = "posts"
+	TableProjects  = "projects"
+	TableTasks     = "tasks"
+	TableUsers     = "users"
+)
+
+// ResourceRec is the persisted form of a resource (paper §III-A: uploaded
+// by providers, managed by the Resource Manager).
+type ResourceRec struct {
+	ID         string  `json:"id"`
+	ProjectID  string  `json:"project_id"`
+	Kind       string  `json:"kind"`
+	Name       string  `json:"name"`
+	Topic      int     `json:"topic"`
+	Popularity float64 `json:"popularity"`
+	// Promoted / Stopped mirror the provider's per-resource controls.
+	Promoted bool `json:"promoted,omitempty"`
+	Stopped  bool `json:"stopped,omitempty"`
+}
+
+// PostRec is one persisted tagging operation (Tag Manager).
+type PostRec struct {
+	ResourceID string    `json:"resource_id"`
+	TaggerID   string    `json:"tagger_id,omitempty"`
+	TaskID     string    `json:"task_id,omitempty"`
+	Tags       []string  `json:"tags"`
+	Time       time.Time `json:"time"`
+	// Approved is nil while pending provider review.
+	Approved *bool `json:"approved,omitempty"`
+}
+
+// ProjectStatus is a project's lifecycle state.
+type ProjectStatus string
+
+// Project lifecycle states (paper §III-A: created, runs, can be stopped).
+const (
+	ProjectActive  ProjectStatus = "active"
+	ProjectStopped ProjectStatus = "stopped"
+	ProjectDone    ProjectStatus = "done"
+)
+
+// ProjectRec is the persisted form of a provider project (Quality Manager).
+type ProjectRec struct {
+	ID          string        `json:"id"`
+	ProviderID  string        `json:"provider_id"`
+	Name        string        `json:"name"`
+	Description string        `json:"description,omitempty"`
+	Kind        string        `json:"kind,omitempty"`
+	Budget      int           `json:"budget"`
+	Spent       int           `json:"spent"`
+	PayPerTask  float64       `json:"pay_per_task"`
+	Strategy    string        `json:"strategy"`
+	Platform    string        `json:"platform"`
+	Status      ProjectStatus `json:"status"`
+	CreatedAt   time.Time     `json:"created_at"`
+}
+
+// TaskStatus is a crowdsourcing task's state.
+type TaskStatus string
+
+// Task states.
+const (
+	TaskPending   TaskStatus = "pending"
+	TaskAssigned  TaskStatus = "assigned"
+	TaskCompleted TaskStatus = "completed"
+	TaskAbandoned TaskStatus = "abandoned"
+)
+
+// TaskRec is one published tagging task.
+type TaskRec struct {
+	ID         string     `json:"id"`
+	ProjectID  string     `json:"project_id"`
+	ResourceID string     `json:"resource_id"`
+	WorkerID   string     `json:"worker_id,omitempty"`
+	Status     TaskStatus `json:"status"`
+	Reward     float64    `json:"reward"`
+	CreatedAt  time.Time  `json:"created_at"`
+	DoneAt     time.Time  `json:"done_at,omitempty"`
+}
+
+// Role distinguishes providers from taggers.
+type Role string
+
+// User roles.
+const (
+	RoleProvider Role = "provider"
+	RoleTagger   Role = "tagger"
+)
+
+// UserRec is the persisted form of a user (User Manager): approval counts
+// feed the two-sided approval rates of paper §III-A.
+type UserRec struct {
+	ID   string `json:"id"`
+	Role Role   `json:"role"`
+	Name string `json:"name,omitempty"`
+	// Judged / JudgedOK: for taggers, posts reviewed / approved by
+	// providers; for providers, ratings received / positive from taggers.
+	Judged   int `json:"judged"`
+	JudgedOK int `json:"judged_ok"`
+	// Earned is the total incentive paid out (taggers) or spent (providers).
+	Earned float64 `json:"earned"`
+}
+
+// ApprovalRate returns JudgedOK/Judged, or 1 when unjudged (new users are
+// given the benefit of the doubt, as MTurk does for qualification).
+func (u UserRec) ApprovalRate() float64 {
+	if u.Judged == 0 {
+		return 1
+	}
+	return float64(u.JudgedOK) / float64(u.Judged)
+}
+
+// Catalog wraps a DB with the typed schemas above.
+type Catalog struct {
+	db *DB
+
+	mu      sync.Mutex
+	nextSeq map[string]uint64 // resourceID → next post sequence number
+}
+
+// NewCatalog wraps a DB. Post sequence counters are recovered lazily.
+func NewCatalog(db *DB) *Catalog {
+	return &Catalog{db: db, nextSeq: make(map[string]uint64)}
+}
+
+// DB exposes the underlying database.
+func (c *Catalog) DB() *DB { return c.db }
+
+// --- resources ---------------------------------------------------------------
+
+// PutResource stores a resource.
+func (c *Catalog) PutResource(r ResourceRec) error {
+	if r.ID == "" {
+		return errors.New("store: resource ID required")
+	}
+	return c.db.Put(TableResources, r.ID, r)
+}
+
+// GetResource loads a resource.
+func (c *Catalog) GetResource(id string) (ResourceRec, error) {
+	var r ResourceRec
+	err := c.db.Get(TableResources, id, &r)
+	return r, err
+}
+
+// ListResources returns all resources in ID order, optionally filtered by
+// project (empty projectID = all).
+func (c *Catalog) ListResources(projectID string) ([]ResourceRec, error) {
+	var out []ResourceRec
+	var scanErr error
+	c.db.Scan(TableResources, func(key string, raw []byte) bool {
+		var r ResourceRec
+		if err := unmarshal(raw, &r); err != nil {
+			scanErr = fmt.Errorf("store: resource %s: %w", key, err)
+			return false
+		}
+		if projectID == "" || r.ProjectID == projectID {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+// --- posts -------------------------------------------------------------------
+
+func postKey(resourceID string, seq uint64) string {
+	return fmt.Sprintf("%s/%012d", resourceID, seq)
+}
+
+// AppendPost durably appends a post to a resource's post sequence and
+// returns its sequence number (1-based).
+func (c *Catalog) AppendPost(p PostRec) (uint64, error) {
+	if p.ResourceID == "" {
+		return 0, errors.New("store: post resource ID required")
+	}
+	if len(p.Tags) == 0 {
+		return 0, errors.New("store: post must have tags")
+	}
+	c.mu.Lock()
+	seq, ok := c.nextSeq[p.ResourceID]
+	if !ok {
+		seq = c.recoverSeqLocked(p.ResourceID)
+	}
+	seq++
+	c.nextSeq[p.ResourceID] = seq
+	c.mu.Unlock()
+	if err := c.db.Put(TablePosts, postKey(p.ResourceID, seq), p); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// recoverSeqLocked finds the highest existing sequence for a resource.
+func (c *Catalog) recoverSeqLocked(resourceID string) uint64 {
+	var max uint64
+	prefix := resourceID + "/"
+	c.db.ScanPrefix(TablePosts, prefix, func(key string, _ []byte) bool {
+		var s uint64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(key, prefix), "%d", &s); err == nil && s > max {
+			max = s
+		}
+		return true
+	})
+	return max
+}
+
+// PostsOf returns a resource's posts in sequence order.
+func (c *Catalog) PostsOf(resourceID string) ([]PostRec, error) {
+	var out []PostRec
+	var scanErr error
+	c.db.ScanPrefix(TablePosts, resourceID+"/", func(key string, raw []byte) bool {
+		var p PostRec
+		if err := unmarshal(raw, &p); err != nil {
+			scanErr = fmt.Errorf("store: post %s: %w", key, err)
+			return false
+		}
+		out = append(out, p)
+		return true
+	})
+	return out, scanErr
+}
+
+// CountPosts returns the number of posts stored for a resource.
+func (c *Catalog) CountPosts(resourceID string) int {
+	n := 0
+	c.db.ScanPrefix(TablePosts, resourceID+"/", func(string, []byte) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// UpdatePost rewrites the post at the given sequence (e.g. to set Approved).
+func (c *Catalog) UpdatePost(resourceID string, seq uint64, p PostRec) error {
+	key := postKey(resourceID, seq)
+	if !c.db.Has(TablePosts, key) {
+		return ErrNotFound
+	}
+	return c.db.Put(TablePosts, key, p)
+}
+
+// GetPost loads one post by sequence number.
+func (c *Catalog) GetPost(resourceID string, seq uint64) (PostRec, error) {
+	var p PostRec
+	err := c.db.Get(TablePosts, postKey(resourceID, seq), &p)
+	return p, err
+}
+
+// --- projects ------------------------------------------------------------------
+
+// PutProject stores a project.
+func (c *Catalog) PutProject(p ProjectRec) error {
+	if p.ID == "" {
+		return errors.New("store: project ID required")
+	}
+	return c.db.Put(TableProjects, p.ID, p)
+}
+
+// GetProject loads a project.
+func (c *Catalog) GetProject(id string) (ProjectRec, error) {
+	var p ProjectRec
+	err := c.db.Get(TableProjects, id, &p)
+	return p, err
+}
+
+// ListProjects returns all projects in ID order, optionally filtered by
+// provider.
+func (c *Catalog) ListProjects(providerID string) ([]ProjectRec, error) {
+	var out []ProjectRec
+	var scanErr error
+	c.db.Scan(TableProjects, func(key string, raw []byte) bool {
+		var p ProjectRec
+		if err := unmarshal(raw, &p); err != nil {
+			scanErr = fmt.Errorf("store: project %s: %w", key, err)
+			return false
+		}
+		if providerID == "" || p.ProviderID == providerID {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+// --- tasks ---------------------------------------------------------------------
+
+func taskKey(projectID, taskID string) string { return projectID + "/" + taskID }
+
+// PutTask stores a task under its project.
+func (c *Catalog) PutTask(t TaskRec) error {
+	if t.ID == "" || t.ProjectID == "" {
+		return errors.New("store: task needs ID and project ID")
+	}
+	return c.db.Put(TableTasks, taskKey(t.ProjectID, t.ID), t)
+}
+
+// GetTask loads a task.
+func (c *Catalog) GetTask(projectID, taskID string) (TaskRec, error) {
+	var t TaskRec
+	err := c.db.Get(TableTasks, taskKey(projectID, taskID), &t)
+	return t, err
+}
+
+// TasksByProject returns a project's tasks, optionally filtered by status
+// ("" = all).
+func (c *Catalog) TasksByProject(projectID string, status TaskStatus) ([]TaskRec, error) {
+	var out []TaskRec
+	var scanErr error
+	c.db.ScanPrefix(TableTasks, projectID+"/", func(key string, raw []byte) bool {
+		var t TaskRec
+		if err := unmarshal(raw, &t); err != nil {
+			scanErr = fmt.Errorf("store: task %s: %w", key, err)
+			return false
+		}
+		if status == "" || t.Status == status {
+			out = append(out, t)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+// --- users ---------------------------------------------------------------------
+
+// PutUser stores a user.
+func (c *Catalog) PutUser(u UserRec) error {
+	if u.ID == "" {
+		return errors.New("store: user ID required")
+	}
+	return c.db.Put(TableUsers, u.ID, u)
+}
+
+// GetUser loads a user.
+func (c *Catalog) GetUser(id string) (UserRec, error) {
+	var u UserRec
+	err := c.db.Get(TableUsers, id, &u)
+	return u, err
+}
+
+// ListUsers returns users in ID order, optionally filtered by role.
+func (c *Catalog) ListUsers(role Role) ([]UserRec, error) {
+	var out []UserRec
+	var scanErr error
+	c.db.Scan(TableUsers, func(key string, raw []byte) bool {
+		var u UserRec
+		if err := unmarshal(raw, &u); err != nil {
+			scanErr = fmt.Errorf("store: user %s: %w", key, err)
+			return false
+		}
+		if role == "" || u.Role == role {
+			out = append(out, u)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+func unmarshal(raw []byte, out any) error {
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestResourceCRUD(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	if err := c.PutResource(ResourceRec{}); err == nil {
+		t.Error("empty ID must be rejected")
+	}
+	r := ResourceRec{ID: "r1", ProjectID: "p1", Kind: "url", Name: "example"}
+	if err := c.PutResource(r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetResource("r1")
+	if err != nil || got.Name != "example" {
+		t.Fatalf("get: %+v, %v", got, err)
+	}
+	if _, err := c.GetResource("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing resource: %v", err)
+	}
+}
+
+func TestListResourcesByProject(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	for i := 0; i < 6; i++ {
+		proj := "p1"
+		if i%2 == 0 {
+			proj = "p2"
+		}
+		_ = c.PutResource(ResourceRec{ID: fmt.Sprintf("r%d", i), ProjectID: proj})
+	}
+	all, err := c.ListResources("")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("all: %d, %v", len(all), err)
+	}
+	p1, err := c.ListResources("p1")
+	if err != nil || len(p1) != 3 {
+		t.Fatalf("p1: %d, %v", len(p1), err)
+	}
+}
+
+func TestPostSequence(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	if _, err := c.AppendPost(PostRec{}); err == nil {
+		t.Error("post without resource must fail")
+	}
+	if _, err := c.AppendPost(PostRec{ResourceID: "r1"}); err == nil {
+		t.Error("post without tags must fail")
+	}
+	now := time.Now().UTC()
+	for i := 1; i <= 5; i++ {
+		seq, err := c.AppendPost(PostRec{ResourceID: "r1", Tags: []string{fmt.Sprintf("t%d", i)}, Time: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	_, _ = c.AppendPost(PostRec{ResourceID: "r2", Tags: []string{"other"}, Time: now})
+	posts, err := c.PostsOf("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 5 {
+		t.Fatalf("posts = %d", len(posts))
+	}
+	for i, p := range posts {
+		if p.Tags[0] != fmt.Sprintf("t%d", i+1) {
+			t.Errorf("post %d out of order: %v", i, p.Tags)
+		}
+	}
+	if c.CountPosts("r1") != 5 || c.CountPosts("r2") != 1 || c.CountPosts("zz") != 0 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestPostSequenceRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog(db)
+	now := time.Now().UTC()
+	for i := 0; i < 3; i++ {
+		if _, err := c.AppendPost(PostRec{ResourceID: "r1", Tags: []string{"x"}, Time: now}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = db.Close()
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	c2 := NewCatalog(db2)
+	seq, err := c2.AppendPost(PostRec{ResourceID: "r1", Tags: []string{"y"}, Time: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Errorf("sequence after recovery = %d, want 4", seq)
+	}
+}
+
+func TestUpdateAndGetPost(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	now := time.Now().UTC()
+	seq, err := c.AppendPost(PostRec{ResourceID: "r1", Tags: []string{"a"}, Time: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.GetPost("r1", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes := true
+	p.Approved = &yes
+	if err := c.UpdatePost("r1", seq, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetPost("r1", seq)
+	if err != nil || got.Approved == nil || !*got.Approved {
+		t.Errorf("approval not persisted: %+v, %v", got, err)
+	}
+	if err := c.UpdatePost("r1", 999, p); !errors.Is(err, ErrNotFound) {
+		t.Errorf("updating missing post: %v", err)
+	}
+}
+
+func TestProjectCRUD(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	if err := c.PutProject(ProjectRec{}); err == nil {
+		t.Error("empty project ID must fail")
+	}
+	p := ProjectRec{ID: "p1", ProviderID: "prov1", Name: "demo", Budget: 100, Status: ProjectActive, CreatedAt: time.Now().UTC()}
+	if err := c.PutProject(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetProject("p1")
+	if err != nil || got.Budget != 100 {
+		t.Fatalf("get: %+v, %v", got, err)
+	}
+	_ = c.PutProject(ProjectRec{ID: "p2", ProviderID: "prov2"})
+	mine, err := c.ListProjects("prov1")
+	if err != nil || len(mine) != 1 {
+		t.Errorf("ListProjects: %d, %v", len(mine), err)
+	}
+	all, _ := c.ListProjects("")
+	if len(all) != 2 {
+		t.Errorf("all projects = %d", len(all))
+	}
+}
+
+func TestTaskCRUD(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	if err := c.PutTask(TaskRec{ID: "t1"}); err == nil {
+		t.Error("task without project must fail")
+	}
+	for i := 0; i < 4; i++ {
+		status := TaskPending
+		if i%2 == 0 {
+			status = TaskCompleted
+		}
+		if err := c.PutTask(TaskRec{ID: fmt.Sprintf("t%d", i), ProjectID: "p1", ResourceID: "r1", Status: status}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.GetTask("p1", "t1")
+	if err != nil || got.Status != TaskPending {
+		t.Fatalf("get task: %+v, %v", got, err)
+	}
+	done, err := c.TasksByProject("p1", TaskCompleted)
+	if err != nil || len(done) != 2 {
+		t.Errorf("completed tasks = %d, %v", len(done), err)
+	}
+	all, _ := c.TasksByProject("p1", "")
+	if len(all) != 4 {
+		t.Errorf("all tasks = %d", len(all))
+	}
+	if other, _ := c.TasksByProject("p2", ""); len(other) != 0 {
+		t.Errorf("wrong project tasks = %d", len(other))
+	}
+}
+
+func TestUserCRUDAndApprovalRate(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	if err := c.PutUser(UserRec{}); err == nil {
+		t.Error("empty user ID must fail")
+	}
+	u := UserRec{ID: "u1", Role: RoleTagger, Judged: 10, JudgedOK: 7}
+	if err := c.PutUser(u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetUser("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ApprovalRate() != 0.7 {
+		t.Errorf("approval rate = %v", got.ApprovalRate())
+	}
+	if (UserRec{}).ApprovalRate() != 1 {
+		t.Error("unjudged user must have rate 1")
+	}
+	_ = c.PutUser(UserRec{ID: "u2", Role: RoleProvider})
+	taggers, err := c.ListUsers(RoleTagger)
+	if err != nil || len(taggers) != 1 {
+		t.Errorf("taggers = %d, %v", len(taggers), err)
+	}
+	everyone, _ := c.ListUsers("")
+	if len(everyone) != 2 {
+		t.Errorf("everyone = %d", len(everyone))
+	}
+}
+
+func TestCatalogEndToEndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog(db)
+	now := time.Now().UTC().Truncate(time.Second)
+	_ = c.PutProject(ProjectRec{ID: "p1", ProviderID: "prov", Budget: 50, Status: ProjectActive, CreatedAt: now})
+	_ = c.PutResource(ResourceRec{ID: "r1", ProjectID: "p1", Kind: "url"})
+	_ = c.PutUser(UserRec{ID: "tagger1", Role: RoleTagger})
+	_, _ = c.AppendPost(PostRec{ResourceID: "r1", TaggerID: "tagger1", Tags: []string{"go", "db"}, Time: now})
+	_ = c.PutTask(TaskRec{ID: "task1", ProjectID: "p1", ResourceID: "r1", Status: TaskCompleted})
+	_ = db.Close()
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	c2 := NewCatalog(db2)
+	if _, err := c2.GetProject("p1"); err != nil {
+		t.Error("project lost")
+	}
+	posts, _ := c2.PostsOf("r1")
+	if len(posts) != 1 || posts[0].Tags[1] != "db" {
+		t.Errorf("posts lost: %+v", posts)
+	}
+	tasks, _ := c2.TasksByProject("p1", "")
+	if len(tasks) != 1 {
+		t.Error("tasks lost")
+	}
+}
+
+func BenchmarkAppendPostMemory(b *testing.B) {
+	c := NewCatalog(OpenMemory())
+	now := time.Now().UTC()
+	p := PostRec{ResourceID: "r1", Tags: []string{"go", "db", "tags"}, Time: now}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AppendPost(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendPostWAL(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "wal.jsonl")
+	db, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c := NewCatalog(db)
+	now := time.Now().UTC()
+	p := PostRec{ResourceID: "r1", Tags: []string{"go", "db", "tags"}, Time: now}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AppendPost(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

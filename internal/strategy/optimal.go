@@ -1,0 +1,150 @@
+package strategy
+
+import (
+	"container/heap"
+	"fmt"
+
+	"itag/internal/quality"
+)
+
+// This file implements the optimal allocation the demo compares against
+// (§IV: "compare them with the optimal allocation strategy"). Given
+// per-resource projected gain tables g_i(x) (from fitted or Monte-Carlo
+// quality curves), the optimum maximizes Σ_i g_i(x_i) subject to Σ x_i = B.
+//
+// GainTables are monotone and concave by construction, so greedy marginal-
+// gain allocation is exact; DPAllocate is the general exact solver used to
+// cross-check greedy in tests (and to handle hypothetical non-concave
+// inputs).
+
+// GreedyAllocate maximizes total projected gain with a max-heap over
+// marginal gains: O(B log n). It returns the allocation x (len(tables))
+// and the total projected gain. Budget beyond the tables' combined capacity
+// is left unallocated.
+func GreedyAllocate(tables []*quality.GainTable, budget int) ([]int, float64, error) {
+	if budget < 0 {
+		return nil, 0, fmt.Errorf("strategy: negative budget %d", budget)
+	}
+	x := make([]int, len(tables))
+	if budget == 0 || len(tables) == 0 {
+		return x, 0, nil
+	}
+	h := &marginalHeap{}
+	for i, t := range tables {
+		if t == nil {
+			return nil, 0, fmt.Errorf("strategy: nil gain table at %d", i)
+		}
+		if t.MaxX() > 0 {
+			heap.Push(h, marginalItem{idx: i, x: 0, gain: t.Marginal(0)})
+		}
+	}
+	var total float64
+	for b := 0; b < budget && h.Len() > 0; b++ {
+		it := heap.Pop(h).(marginalItem)
+		x[it.idx]++
+		total += it.gain
+		nx := it.x + 1
+		if nx < tables[it.idx].MaxX() {
+			heap.Push(h, marginalItem{idx: it.idx, x: nx, gain: tables[it.idx].Marginal(nx)})
+		}
+	}
+	return x, total, nil
+}
+
+type marginalItem struct {
+	idx  int
+	x    int
+	gain float64
+}
+
+type marginalHeap []marginalItem
+
+func (h marginalHeap) Len() int { return len(h) }
+func (h marginalHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].idx < h[j].idx // deterministic ties
+}
+func (h marginalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *marginalHeap) Push(v any)   { *h = append(*h, v.(marginalItem)) }
+func (h *marginalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// DPAllocate solves the allocation exactly by dynamic programming in
+// O(n·B·maxX) time and O(n·B) space. It does not require concavity; use it
+// to validate GreedyAllocate or for small instances.
+func DPAllocate(tables []*quality.GainTable, budget int) ([]int, float64, error) {
+	if budget < 0 {
+		return nil, 0, fmt.Errorf("strategy: negative budget %d", budget)
+	}
+	n := len(tables)
+	x := make([]int, n)
+	if budget == 0 || n == 0 {
+		return x, 0, nil
+	}
+	const neg = -1.0 // gains are >= 0; -1 marks unreachable
+	// dp[i][b]: best gain using resources [0, i) with exactly b' <= b
+	// spendable... we allow Σx <= B (leftover budget wastes nothing since
+	// gains are non-negative and zero-extension is always possible).
+	dp := make([][]float64, n+1)
+	choice := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, budget+1)
+		choice[i] = make([]int, budget+1)
+		for b := range dp[i] {
+			dp[i][b] = neg
+		}
+	}
+	for b := 0; b <= budget; b++ {
+		dp[0][b] = 0
+	}
+	for i := 1; i <= n; i++ {
+		t := tables[i-1]
+		if t == nil {
+			return nil, 0, fmt.Errorf("strategy: nil gain table at %d", i-1)
+		}
+		maxX := t.MaxX()
+		for b := 0; b <= budget; b++ {
+			for xi := 0; xi <= maxX && xi <= b; xi++ {
+				prev := dp[i-1][b-xi]
+				if prev < 0 {
+					continue
+				}
+				cand := prev + t.Gain(xi)
+				if cand > dp[i][b] {
+					dp[i][b] = cand
+					choice[i][b] = xi
+				}
+			}
+		}
+	}
+	// Reconstruct from the full budget.
+	b := budget
+	for i := n; i >= 1; i-- {
+		xi := choice[i][b]
+		x[i-1] = xi
+		b -= xi
+	}
+	return x, dp[n][budget], nil
+}
+
+// TotalGain evaluates an allocation against gain tables.
+func TotalGain(tables []*quality.GainTable, x []int) (float64, error) {
+	if len(tables) != len(x) {
+		return 0, fmt.Errorf("strategy: allocation length %d != tables %d", len(x), len(tables))
+	}
+	var total float64
+	for i, t := range tables {
+		if x[i] < 0 {
+			return 0, fmt.Errorf("strategy: negative allocation at %d", i)
+		}
+		total += t.Gain(x[i])
+	}
+	return total, nil
+}

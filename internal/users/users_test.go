@@ -1,0 +1,156 @@
+package users
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNewUsersHaveFullRate(t *testing.T) {
+	m := NewManager()
+	m.RegisterTagger("t1")
+	m.RegisterProvider("p1")
+	if got := m.TaggerApprovalRate("t1"); got != 1 {
+		t.Errorf("new tagger rate = %v", got)
+	}
+	if got := m.ProviderApprovalRate("p1"); got != 1 {
+		t.Errorf("new provider rate = %v", got)
+	}
+	// Unknown users also default to 1 (no evidence against them).
+	if got := m.TaggerApprovalRate("stranger"); got != 1 {
+		t.Errorf("unknown tagger rate = %v", got)
+	}
+	if !m.KnownTagger("t1") || m.KnownTagger("stranger") {
+		t.Error("KnownTagger wrong")
+	}
+}
+
+func TestRecordTagJudgment(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 7; i++ {
+		if err := m.RecordTagJudgment("t1", true, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.RecordTagJudgment("t1", false, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.TaggerApprovalRate("t1"); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("rate = %v, want 0.7", got)
+	}
+	if got := m.TaggerEarnings("t1"); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("earnings = %v, want 0.35 (only approved posts pay)", got)
+	}
+	if err := m.RecordTagJudgment("t1", true, -1); err == nil {
+		t.Error("negative reward must be rejected")
+	}
+	if m.TaggerEarnings("nobody") != 0 {
+		t.Error("unknown tagger earnings must be 0")
+	}
+}
+
+func TestRecordProviderRating(t *testing.T) {
+	m := NewManager()
+	m.RecordProviderRating("p1", true)
+	m.RecordProviderRating("p1", true)
+	m.RecordProviderRating("p1", false)
+	if got := m.ProviderApprovalRate("p1"); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("provider rate = %v", got)
+	}
+}
+
+func TestQualification(t *testing.T) {
+	m := NewManager()
+	// Below minJudged: always qualified regardless of rate.
+	m.RecordTagJudgment("rookie", false, 0)
+	if !m.Qualified("rookie", 0.9, 5) {
+		t.Error("rookie with 1 judgment must still qualify")
+	}
+	// Enough judgments, bad rate: disqualified.
+	for i := 0; i < 10; i++ {
+		_ = m.RecordTagJudgment("bad", i < 2, 0)
+	}
+	if m.Qualified("bad", 0.5, 5) {
+		t.Error("bad tagger must be disqualified")
+	}
+	// Enough judgments, good rate: qualified.
+	for i := 0; i < 10; i++ {
+		_ = m.RecordTagJudgment("good", i > 0, 0)
+	}
+	if !m.Qualified("good", 0.5, 5) {
+		t.Error("good tagger must qualify")
+	}
+	// Unknown taggers qualify.
+	if !m.Qualified("stranger", 0.99, 1) {
+		t.Error("unknown tagger must qualify")
+	}
+}
+
+func TestQualifiedTaggersSorted(t *testing.T) {
+	m := NewManager()
+	m.RegisterTagger("zeta")
+	m.RegisterTagger("alpha")
+	for i := 0; i < 10; i++ {
+		_ = m.RecordTagJudgment("mid", false, 0)
+	}
+	got := m.QualifiedTaggers(0.5, 5)
+	if !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Errorf("qualified = %v", got)
+	}
+}
+
+func TestStatsSnapshots(t *testing.T) {
+	m := NewManager()
+	_ = m.RecordTagJudgment("t1", true, 0.10)
+	m.RecordProviderRating("p1", false)
+	ts := m.TaggerStats()
+	if len(ts) != 1 || ts[0].ID != "t1" || ts[0].Approved != 1 || ts[0].Earned != 0.10 {
+		t.Errorf("tagger stats = %+v", ts)
+	}
+	if ts[0].Rate() != 1 {
+		t.Errorf("rate = %v", ts[0].Rate())
+	}
+	ps := m.ProviderStats()
+	if len(ps) != 1 || ps[0].Rate() != 0 {
+		t.Errorf("provider stats = %+v", ps)
+	}
+	if (Stat{}).Rate() != 1 {
+		t.Error("empty stat rate must be 1")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	m := NewManager()
+	_ = m.RecordTagJudgment("t1", true, 0.5)
+	m.RegisterTagger("t1") // must not reset stats
+	if m.TaggerEarnings("t1") != 0.5 {
+		t.Error("re-registering reset stats")
+	}
+}
+
+func TestConcurrentJudgments(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = m.RecordTagJudgment("t1", true, 0.01)
+				_ = m.TaggerApprovalRate("t1")
+				m.RecordProviderRating("p1", i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.TaggerStats()
+	if st[0].Judged != 4000 {
+		t.Errorf("judged = %d, want 4000", st[0].Judged)
+	}
+	if math.Abs(m.TaggerEarnings("t1")-40.0) > 1e-6 {
+		t.Errorf("earnings = %v, want 40", m.TaggerEarnings("t1"))
+	}
+}
