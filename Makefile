@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench bench-experiments bench-contention clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Concurrent store stress under the race detector (PR acceptance gate).
+race:
+	$(GO) test -race ./internal/store/... ./internal/core/...
+
+# The tier-1 verify plus vet — what CI runs.
+check: vet build test
+
+# Paper tables + systems benchmarks, one iteration each.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+bench-experiments:
+	$(GO) run ./cmd/itag-bench -experiment all
+
+# Sharded-store contention matrix and project-fleet pool (S3/S4).
+bench-contention:
+	$(GO) run ./cmd/itag-bench -experiment s3,s4
+
+clean:
+	$(GO) clean ./...
+	rm -f itag.wal

@@ -1,7 +1,7 @@
 // Benchmarks regenerating every reproducible table/figure of the iTag demo
-// paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured). Each BenchmarkE*/BenchmarkA* runs one experiment and
-// logs its result table; BenchmarkS* are the systems microbenchmarks.
+// paper (see the experiment index in docs/ARCHITECTURE.md). Each
+// BenchmarkE*/BenchmarkA* runs one experiment and logs its result table;
+// BenchmarkS* are the systems microbenchmarks.
 //
 // Run everything:   go test -bench=. -benchmem
 // One experiment:   go test -bench=BenchmarkE1 -benchtime=1x
@@ -140,6 +140,16 @@ func BenchmarkS1_StoreRecovery(b *testing.B) {
 		db2.Close()
 	}
 }
+
+// BenchmarkS3_StoreContention — systems: catalog throughput for every cell
+// of the 1/4/16-shard × 1/8/64-tagger matrix (append-post + read-back).
+// The logged speedup column must show the 16-shard store ≥ 2× the 1-shard
+// store at 64 concurrent taggers.
+func BenchmarkS3_StoreContention(b *testing.B) { runExperiment(b, bench.S3StoreContention) }
+
+// BenchmarkS4_ProjectFleet — systems: a fleet of simulated projects driven
+// serially vs through the core.Pool worker pipeline.
+func BenchmarkS4_ProjectFleet(b *testing.B) { runExperiment(b, bench.S4ProjectFleet) }
 
 // BenchmarkS2_EngineThroughput — systems: end-to-end tasks/second through
 // engine + platform simulator + quality tracking.

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	itagd [-addr :8080] [-db itag.wal] [-seed 42]
+//	itagd [-addr :8080] [-db itag.wal] [-shards 1] [-seed 42]
 //
-// With -db "" the store is in-memory (state lost on exit). See
-// internal/server for the endpoint reference.
+// With -db "" the store is in-memory (state lost on exit). With -shards N
+// (N > 1) the store is hash-partitioned across N locks; -db then names a
+// directory of per-shard WALs instead of a single file. See
+// internal/server for the endpoint reference and docs/ARCHITECTURE.md for
+// the sharding design.
 package main
 
 import (
@@ -24,24 +27,36 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dbPath := flag.String("db", "itag.wal", "WAL file path; empty for in-memory")
+	dbPath := flag.String("db", "itag.wal", "WAL file (or directory with -shards > 1); empty for in-memory")
+	shards := flag.Int("shards", 1, "store shard count (>1 partitions keys across locks)")
 	seed := flag.Int64("seed", 42, "seed for simulated platforms and worlds")
 	quiet := flag.Bool("quiet", false, "disable request logging")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "itagd ", log.LstdFlags)
 
-	var db *store.DB
-	if *dbPath == "" {
+	var db store.Store
+	switch {
+	case *dbPath == "" && *shards > 1:
+		db = store.NewSharded(*shards)
+		logger.Printf("using in-memory store (%d shards)", *shards)
+	case *dbPath == "":
 		db = store.OpenMemory()
 		logger.Print("using in-memory store")
-	} else {
-		var err error
-		db, err = store.Open(*dbPath, store.Options{SyncEvery: 64})
+	case *shards > 1:
+		sh, err := store.OpenSharded(*dbPath, *shards, store.Options{SyncEvery: 64})
+		if err != nil {
+			logger.Fatalf("open sharded store: %v", err)
+		}
+		logger.Printf("store: %s (%d shards, %d records)", *dbPath, *shards, sh.Seq())
+		db = sh
+	default:
+		wal, err := store.Open(*dbPath, store.Options{SyncEvery: 64})
 		if err != nil {
 			logger.Fatalf("open store: %v", err)
 		}
-		logger.Printf("store: %s (%d records)", *dbPath, db.Seq())
+		logger.Printf("store: %s (%d records)", *dbPath, wal.Seq())
+		db = wal
 	}
 	defer db.Close()
 

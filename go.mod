@@ -1,0 +1,3 @@
+module itag
+
+go 1.22

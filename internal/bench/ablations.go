@@ -9,7 +9,7 @@ import (
 
 // A1StabilityWindow ablates the MU stability window W: small windows are
 // noisy (quality jitters, MU chases noise), large windows are stale (MU
-// reacts late). DESIGN.md design choice 1.
+// reacts late). design choice 1 in docs/ARCHITECTURE.md.
 func A1StabilityWindow(sz Sizes) (Result, error) {
 	res := Result{
 		ID:     "A1",
@@ -35,7 +35,7 @@ func A1StabilityWindow(sz Sizes) (Result, error) {
 
 // A2SwitchPoint ablates the FP-MU trigger: budget-fraction switches
 // (φ ∈ {0.25, 0.5, 0.75}) against post-count-target switches (K0 ∈ {3, 5, 8}).
-// DESIGN.md design choice 2.
+// design choice 2 in docs/ARCHITECTURE.md.
 func A2SwitchPoint(sz Sizes) (Result, error) {
 	res := Result{
 		ID:     "A2",
@@ -74,8 +74,8 @@ func A2SwitchPoint(sz Sizes) (Result, error) {
 }
 
 // A3BatchSize ablates |Rc|, the Algorithm-1 batch: large batches schedule on
-// staler quality statistics but cost less per task. DESIGN.md design
-// choice 3.
+// staler quality statistics but cost less per task. Design choice 3 in
+// docs/ARCHITECTURE.md.
 func A3BatchSize(sz Sizes) (Result, error) {
 	res := Result{
 		ID:     "A3",

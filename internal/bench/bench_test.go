@@ -264,3 +264,33 @@ func TestReportRendering(t *testing.T) {
 		t.Error("Fprint wrote nothing")
 	}
 }
+
+func TestS3StoreContentionShape(t *testing.T) {
+	res, err := S3StoreContention(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(s3Shards)*len(s3Taggers) {
+		t.Fatalf("S3 produced %d rows, want %d", len(res.Rows), len(s3Shards)*len(s3Taggers))
+	}
+	for _, row := range res.Rows {
+		if ops := parseF(t, row[3]); ops <= 0 {
+			t.Fatalf("cell %v reports non-positive throughput", row)
+		}
+	}
+}
+
+func TestS4ProjectFleetShape(t *testing.T) {
+	res, err := S4ProjectFleet(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("S4 produced %d rows, want serial+pool", len(res.Rows))
+	}
+	serial := findRow(t, res, "serial")
+	pool := findRow(t, res, "pool")
+	if serial[3] != pool[3] {
+		t.Fatalf("serial and pool spent different task totals: %s vs %s", serial[3], pool[3])
+	}
+}

@@ -1,7 +1,7 @@
 // Package bench implements the paper's evaluation (deliverable for every
 // table and figure): shared experiment harness, the experiments E1–E9
 // keyed to Table I and §IV of the demo paper, and the ablations A1–A3 for
-// the design choices called out in DESIGN.md. Both bench_test.go (go test
+// the design choices listed in docs/ARCHITECTURE.md. Both bench_test.go (go test
 // -bench) and cmd/itag-bench reuse these functions, so the printed rows are
 // identical either way.
 package bench

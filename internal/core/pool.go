@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the worker-pool task-assignment pipeline: instead of
+// driving one project's Algorithm-1 loop to completion before the next
+// (Engine.Run back to back), a Pool interleaves single StepOnce iterations
+// of many projects across a fixed set of workers. Each step publishes one
+// batch of tasks to the project's crowd platform, drives the platform until
+// the batch completes, and folds results back into the model — so a fleet
+// of simulated taggers makes progress on every live project concurrently,
+// and per-project store traffic (posts, tasks) lands on different shards of
+// a sharded store instead of convoying on one lock.
+
+// Pool drives many engines with a fixed number of step workers.
+//
+// Concurrency invariants:
+//   - at most one worker steps a given engine at a time (an engine is
+//     either queued or owned by exactly one worker, never both);
+//   - engines touched by the same pool may share Users managers, Ledgers
+//     and Catalogs, which are themselves concurrency-safe;
+//   - a step failure retires only that engine; the rest keep running.
+type Pool struct {
+	// Workers is the number of concurrent step workers (default 8).
+	Workers int
+}
+
+// DefaultPoolWorkers is the Pool.Run worker count when unset.
+const DefaultPoolWorkers = 8
+
+// Run drives every engine to completion and returns a slice parallel to
+// engines holding each run's error (nil on success).
+func (p Pool) Run(engines []*Engine) []error {
+	n := len(engines)
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = DefaultPoolWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Each engine contributes at most one queue entry, so a buffer of n
+	// makes requeueing non-blocking. The worker that retires the last
+	// engine closes the queue; a requeueing worker still owns its engine's
+	// slot in `remaining`, so the queue cannot be closed under it.
+	queue := make(chan int, n)
+	for i := range engines {
+		queue <- i
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				done, err := engines[i].StepOnce()
+				if err != nil {
+					errs[i] = err
+					done = true
+				}
+				if done {
+					if remaining.Add(-1) == 0 {
+						close(queue)
+					}
+				} else {
+					queue <- i
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// RunEngines is the convenience form of Pool.Run.
+func RunEngines(engines []*Engine, workers int) []error {
+	return Pool{Workers: workers}.Run(engines)
+}

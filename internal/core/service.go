@@ -339,6 +339,72 @@ func (s *Service) finishProject(projectID string, runErr error) {
 	_ = s.cat.PutProject(rec)
 }
 
+// RunSimulations drives the given simulated projects to completion on a
+// shared Pool of `workers` step workers, interleaving Algorithm-1 batches
+// across projects instead of running them serially. It blocks until every
+// project finishes and returns the first project error (all projects still
+// run to their own completion or failure; per-project errors are also
+// visible through WaitSimulation).
+func (s *Service) RunSimulations(projectIDs []string, workers int) error {
+	if len(projectIDs) == 0 {
+		return nil
+	}
+	runs := make([]*Run, len(projectIDs))
+	engines := make([]*Engine, len(projectIDs))
+	for i, id := range projectIDs {
+		run, err := s.run(id)
+		if err != nil {
+			return err
+		}
+		if run.World == nil {
+			return fmt.Errorf("core: project %s has uploaded resources; use the manual task flow", id)
+		}
+		runs[i] = run
+		engines[i] = run.Engine
+	}
+	// Claim every run before stepping any, rolling back on conflict so a
+	// failed claim leaves earlier projects startable again. The rollback
+	// restores each run's previous doneCh (a completed earlier run keeps
+	// its closed channel) and closes the abandoned fresh channel so any
+	// waiter that raced onto it is released rather than stranded.
+	prevCh := make([]chan struct{}, len(runs))
+	for i, run := range runs {
+		run.mu.Lock()
+		if run.running {
+			run.mu.Unlock()
+			for j, prev := range runs[:i] {
+				prev.mu.Lock()
+				fresh := prev.doneCh
+				prev.running = false
+				prev.doneCh = prevCh[j]
+				close(fresh)
+				prev.mu.Unlock()
+			}
+			return fmt.Errorf("%w: project %s", ErrProjectRunning, projectIDs[i])
+		}
+		prevCh[i] = run.doneCh
+		run.running = true
+		run.doneCh = make(chan struct{})
+		run.mu.Unlock()
+	}
+
+	errs := Pool{Workers: workers}.Run(engines)
+
+	var first error
+	for i, run := range runs {
+		run.mu.Lock()
+		run.runErr = errs[i]
+		run.running = false
+		close(run.doneCh)
+		run.mu.Unlock()
+		s.finishProject(projectIDs[i], errs[i])
+		if errs[i] != nil && first == nil {
+			first = errs[i]
+		}
+	}
+	return first
+}
+
 // WaitSimulation blocks until the background run finishes and returns its
 // error.
 func (s *Service) WaitSimulation(projectID string) error {

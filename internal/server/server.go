@@ -1,6 +1,9 @@
 // Package server exposes the iTag system over an HTTP JSON API — the
 // scriptable equivalent of the provider and tagger web UIs in the demo
-// (paper Figs. 3–8). Every UI action maps to one endpoint:
+// (paper Figs. 3–8). Every UI action maps to one endpoint (full
+// request/response reference: docs/API.md):
+//
+//	GET  /api/healthz                         liveness probe
 //
 //	POST /api/providers                       register provider
 //	POST /api/taggers                         register tagger

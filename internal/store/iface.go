@@ -1,0 +1,46 @@
+package store
+
+// Store is the storage contract the typed Catalog — and therefore the whole
+// manager layer (core.Service, the HTTP server, the CLIs) — is written
+// against. Two backends implement it:
+//
+//   - DB: the WAL-backed embedded table store (one lock, durable).
+//   - Sharded: N inner stores with the key space hash-partitioned on the
+//     key's first path segment, so concurrent projects/resources/users
+//     contend on different locks and prefix scans stay shard-local.
+//
+// All implementations must be safe for concurrent use.
+type Store interface {
+	// Put stores value (JSON-marshaled) under (table, key).
+	Put(table, key string, value any) error
+	// Get unmarshals the value at (table, key) into out; ErrNotFound if
+	// absent.
+	Get(table, key string, out any) error
+	// Has reports whether (table, key) exists.
+	Has(table, key string) bool
+	// Delete removes (table, key); deleting a missing key is not an error.
+	Delete(table, key string) error
+	// Apply executes mutations as a group. The DB backend makes the group
+	// atomic across tables; the Sharded backend guarantees atomicity only
+	// per shard (see Sharded.Apply).
+	Apply(muts []Mutation) error
+	// Scan visits every (key, raw JSON value) of a table in ascending key
+	// order; fn returning false stops the scan.
+	Scan(table string, fn func(key string, raw []byte) bool)
+	// ScanPrefix visits keys with the given prefix in ascending order.
+	ScanPrefix(table, prefix string, fn func(key string, raw []byte) bool)
+	// Count returns the number of keys in a table.
+	Count(table string) int
+	// Tables returns the table names in sorted order.
+	Tables() []string
+	// Sync forces buffered state to stable storage (no-op in memory).
+	Sync() error
+	// Close releases the store; further operations return ErrClosed.
+	Close() error
+}
+
+// Both backends must satisfy the contract.
+var (
+	_ Store = (*DB)(nil)
+	_ Store = (*Sharded)(nil)
+)

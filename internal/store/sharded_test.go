@@ -1,0 +1,276 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dump flattens a store into table → key → value for equivalence checks.
+func dump(t *testing.T, s Store) map[string]map[string]string {
+	t.Helper()
+	out := make(map[string]map[string]string)
+	for _, table := range s.Tables() {
+		rows := make(map[string]string)
+		s.Scan(table, func(key string, raw []byte) bool {
+			rows[key] = string(raw)
+			return true
+		})
+		out[table] = rows
+	}
+	return out
+}
+
+// applyOps drives one deterministic mixed workload against a store.
+func applyOps(t *testing.T, s Store) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("res-%03d/%05d", i%17, i)
+		if err := s.Put("posts", key, map[string]int{"n": i}); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Put("users", fmt.Sprintf("user-%02d", i), i); err != nil {
+			t.Fatalf("put user: %v", err)
+		}
+	}
+	for i := 0; i < 40; i += 3 {
+		if err := s.Delete("users", fmt.Sprintf("user-%02d", i)); err != nil {
+			t.Fatalf("delete user: %v", err)
+		}
+	}
+	muts := []Mutation{
+		{Op: OpPut, Table: "projects", Key: "proj-a", Value: "alpha"},
+		{Op: OpPut, Table: "projects", Key: "proj-b", Value: "beta"},
+		{Op: OpDelete, Table: "users", Key: "user-01"},
+	}
+	if err := s.Apply(muts); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+}
+
+// TestShardedSingleShardMatchesDB is the regression guard: one shard must
+// behave byte-for-byte like the plain single-lock DB.
+func TestShardedSingleShardMatchesDB(t *testing.T) {
+	ref := OpenMemory()
+	one := NewSharded(1)
+	applyOps(t, ref)
+	applyOps(t, one)
+
+	if got, want := dump(t, one), dump(t, ref); !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-shard state diverges from DB:\n got  %v\n want %v", got, want)
+	}
+	if got, want := one.Count("posts"), ref.Count("posts"); got != want {
+		t.Fatalf("Count: got %d want %d", got, want)
+	}
+	if got, want := one.Tables(), ref.Tables(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tables: got %v want %v", got, want)
+	}
+}
+
+// TestShardedScanOrder checks that merged whole-table scans preserve global
+// ascending key order across shards.
+func TestShardedScanOrder(t *testing.T) {
+	s := NewSharded(8)
+	applyOps(t, s)
+	var prev string
+	n := 0
+	s.Scan("posts", func(key string, _ []byte) bool {
+		if key <= prev {
+			t.Fatalf("scan out of order: %q after %q", key, prev)
+		}
+		prev = key
+		n++
+		return true
+	})
+	if n != 200 {
+		t.Fatalf("scan visited %d keys, want 200", n)
+	}
+	// Early termination must be honored.
+	n = 0
+	s.Scan("posts", func(string, []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-stop scan visited %d keys, want 5", n)
+	}
+}
+
+// TestShardedPrefixLocality checks the routing invariant: all keys sharing
+// a first path segment live in the shard ScanPrefix consults, so a pinned
+// prefix scan sees exactly that segment's keys.
+func TestShardedPrefixLocality(t *testing.T) {
+	s := NewSharded(16)
+	applyOps(t, s)
+	for seg := 0; seg < 17; seg++ {
+		prefix := fmt.Sprintf("res-%03d/", seg)
+		want := 0
+		for i := 0; i < 200; i++ {
+			if i%17 == seg {
+				want++
+			}
+		}
+		got := 0
+		s.ScanPrefix("posts", prefix, func(key string, _ []byte) bool {
+			if key[:len(prefix)] != prefix {
+				t.Fatalf("prefix scan %q returned %q", prefix, key)
+			}
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("prefix %q: got %d keys, want %d", prefix, got, want)
+		}
+	}
+	// The owning shard holds every key of the segment.
+	owner := s.ShardFor("res-003/xyz")
+	if owner != s.ShardFor("res-003/") || owner != s.ShardFor("res-003") {
+		t.Fatal("keys of one first segment routed to different shards")
+	}
+}
+
+// TestShardDistribution checks that distinct first segments spread over the
+// shards without pathological skew.
+func TestShardDistribution(t *testing.T) {
+	const shards, keys = 8, 4000
+	s := NewSharded(shards)
+	for i := 0; i < keys; i++ {
+		if err := s.Put("resources", fmt.Sprintf("res-%05d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := s.ShardCounts("resources")
+	total, mean := 0, keys/shards
+	for i, c := range counts {
+		total += c
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", i, counts)
+		}
+		if c > 2*mean || c < mean/2 {
+			t.Fatalf("shard %d holds %d keys (mean %d), distribution too skewed: %v", i, c, mean, counts)
+		}
+	}
+	if total != keys {
+		t.Fatalf("shards hold %d keys, want %d", total, keys)
+	}
+}
+
+// TestShardedConcurrentStress hammers a sharded store from many goroutines
+// with disjoint key spaces plus cross-cutting scans; run with -race.
+func TestShardedConcurrentStress(t *testing.T) {
+	const (
+		workers = 32
+		ops     = 200
+	)
+	s := NewSharded(16)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seg := fmt.Sprintf("res-%03d", w)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("%s/%05d", seg, i)
+				if err := s.Put("posts", key, i); err != nil {
+					errCh <- err
+					return
+				}
+				var back int
+				if err := s.Get("posts", key, &back); err != nil || back != i {
+					errCh <- fmt.Errorf("get %s: %v (got %d)", key, err, back)
+					return
+				}
+				if i%16 == 0 {
+					s.ScanPrefix("posts", seg+"/", func(string, []byte) bool { return true })
+					s.Count("posts")
+				}
+				if i%64 == 0 {
+					// Cross-shard merged scan concurrent with writers.
+					s.Scan("posts", func(string, []byte) bool { return true })
+				}
+				if i%10 == 9 {
+					if err := s.Delete("posts", key); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	want := workers * (ops - ops/10)
+	if got := s.Count("posts"); got != want {
+		t.Fatalf("final count %d, want %d", got, want)
+	}
+}
+
+// TestOpenShardedPersistence checks durable sharded stores recover state
+// and refuse a mismatched shard count.
+func TestOpenShardedPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, s)
+	before := dump(t, s)
+	if s.Seq() == 0 {
+		t.Fatal("durable sharded store reports zero WAL records")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSharded(dir, 8, Options{}); err == nil {
+		t.Fatal("reopening with a different shard count must fail")
+	}
+
+	s2, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := dump(t, s2); !reflect.DeepEqual(got, before) {
+		t.Fatalf("recovered state diverges:\n got  %v\n want %v", got, before)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if got := dump(t, s2); !reflect.DeepEqual(got, before) {
+		t.Fatalf("state diverges after compact:\n got  %v\n want %v", got, before)
+	}
+}
+
+// TestCatalogOverSharded runs the typed layer's hot paths over a sharded
+// backend: per-resource post sequences must stay dense and ordered.
+func TestCatalogOverSharded(t *testing.T) {
+	cat := NewCatalog(NewSharded(8))
+	now := time.Now().UTC()
+	for i := 0; i < 30; i++ {
+		rid := fmt.Sprintf("res-%d", i%3)
+		seq, err := cat.AppendPost(PostRec{ResourceID: rid, Tags: []string{"t"}, Time: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(i/3 + 1); seq != want {
+			t.Fatalf("post %d on %s: seq %d, want %d", i, rid, seq, want)
+		}
+	}
+	posts, err := cat.PostsOf("res-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 10 {
+		t.Fatalf("res-1 has %d posts, want 10", len(posts))
+	}
+	if _, err := cat.GetResource("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing resource: got %v, want ErrNotFound", err)
+	}
+}

@@ -1,17 +1,25 @@
 // Package store is an embedded, durable table store — the Go substitute for
 // the MySQL database under the original PHP/Python iTag system (paper §III,
 // Fig. 2). The four managers persist resources, posts, projects, tasks and
-// users through it.
+// users through it, via the typed Catalog written against the Store
+// interface.
 //
-// Design: a single append-only write-ahead log (WAL) of JSON records backs
-// any number of named tables (key → JSON value). Mutations are appended to
-// the WAL before being applied in memory; Open replays the log to recover
-// state, tolerating a torn final record. Batches are single WAL records and
-// therefore atomic across tables. Compact rewrites the log as a snapshot.
-// A DB opened with an empty path is purely in-memory (used by simulations
-// and benchmarks that do not need durability).
+// Two backends implement Store:
 //
-// The store is safe for concurrent use.
+//   - DB: a single append-only write-ahead log (WAL) of JSON records backs
+//     any number of named tables (key → JSON value) behind one lock.
+//     Mutations are appended to the WAL before being applied in memory;
+//     Open replays the log to recover state, tolerating a torn final
+//     record. Batches are single WAL records and therefore atomic across
+//     tables. Compact rewrites the log as a snapshot. A DB opened with
+//     OpenMemory is purely in-memory (used by simulations and benchmarks
+//     that do not need durability).
+//   - Sharded: N inner stores with keys hash-partitioned on the first path
+//     segment, so concurrent projects contend on different locks and
+//     prefix scans touch 1/N of the key space. See Sharded for the routing
+//     and atomicity invariants.
+//
+// Both are safe for concurrent use.
 package store
 
 import (

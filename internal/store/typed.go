@@ -136,21 +136,25 @@ func (u UserRec) ApprovalRate() float64 {
 	return float64(u.JudgedOK) / float64(u.Judged)
 }
 
-// Catalog wraps a DB with the typed schemas above.
+// Catalog wraps any Store backend with the typed schemas above. The key
+// layouts above keep a resource's posts and a project's tasks under one
+// first path segment, so on a Sharded backend every Catalog access path is
+// shard-local (see Sharded).
 type Catalog struct {
-	db *DB
+	db Store
 
 	mu      sync.Mutex
 	nextSeq map[string]uint64 // resourceID → next post sequence number
 }
 
-// NewCatalog wraps a DB. Post sequence counters are recovered lazily.
-func NewCatalog(db *DB) *Catalog {
+// NewCatalog wraps a Store backend (DB or Sharded). Post sequence counters
+// are recovered lazily.
+func NewCatalog(db Store) *Catalog {
 	return &Catalog{db: db, nextSeq: make(map[string]uint64)}
 }
 
-// DB exposes the underlying database.
-func (c *Catalog) DB() *DB { return c.db }
+// DB exposes the underlying store backend.
+func (c *Catalog) DB() Store { return c.db }
 
 // --- resources ---------------------------------------------------------------
 

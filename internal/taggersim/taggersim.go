@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"itag/internal/dataset"
@@ -237,9 +238,14 @@ func (s *latentSampler) sample(r *rand.Rand) string {
 }
 
 // Simulator produces posts for resources, holding per-resource samplers.
+// It is safe for concurrent use (engines pooled by core.Pool share one
+// Simulator); samplers are immutable once built, so only the cache map
+// needs the lock.
 type Simulator struct {
-	world    *dataset.World
-	byID     map[string]int
+	world *dataset.World
+	byID  map[string]int
+
+	mu       sync.RWMutex
 	samplers map[string]*latentSampler // key: resourceID|bias
 }
 
@@ -261,10 +267,16 @@ func (s *Simulator) GeneratePost(r *rand.Rand, prof *Profile, resourceID string)
 	}
 	res := &s.world.Dataset.Resources[i]
 	key := fmt.Sprintf("%s|%.3f", resourceID, prof.AspectBias)
+	s.mu.RLock()
 	ls, ok := s.samplers[key]
+	s.mu.RUnlock()
 	if !ok {
-		ls = newLatentSampler(res.Latent, prof.AspectBias)
-		s.samplers[key] = ls
+		s.mu.Lock()
+		if ls, ok = s.samplers[key]; !ok {
+			ls = newLatentSampler(res.Latent, prof.AspectBias)
+			s.samplers[key] = ls
+		}
+		s.mu.Unlock()
 	}
 
 	n := rng.BoundedNormal(r, prof.MeanTags, 1.0, 1, 8)

@@ -34,8 +34,8 @@
 //	_ = engine.Run()
 //	fmt.Println(engine.MeanStability())
 //
-// See examples/ for complete programs and DESIGN.md for the experiment
-// index.
+// See examples/ for complete programs and docs/ARCHITECTURE.md for the
+// system design and experiment index.
 package itag
 
 import (
@@ -67,6 +67,9 @@ type (
 	ProjectSpec = core.ProjectSpec
 	// ProjectInfo is a project row with live stats.
 	ProjectInfo = core.ProjectInfo
+	// Pool drives many engines concurrently with a fixed set of step
+	// workers (the task-assignment pipeline).
+	Pool = core.Pool
 	// Judge reviews completed posts (approval flow).
 	Judge = core.Judge
 	// PlanConfig parameterizes optimal-allocation gain estimation.
@@ -139,8 +142,11 @@ type (
 
 // Storage surface.
 type (
-	// Store is the embedded WAL-backed database.
-	Store = store.DB
+	// Store is the storage contract the manager layer runs over; backends
+	// are the WAL-backed DB and the hash-partitioned ShardedStore.
+	Store = store.Store
+	// ShardedStore partitions the key space across N single-lock shards.
+	ShardedStore = store.Sharded
 	// Catalog is the typed schema layer over Store.
 	Catalog = store.Catalog
 )
@@ -148,17 +154,33 @@ type (
 // NewEngine builds an allocation engine. See EngineConfig for knobs.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return core.New(cfg) }
 
+// RunEngines drives many engines to completion on a shared worker pool,
+// returning a slice of per-engine errors parallel to the input.
+func RunEngines(engines []*Engine, workers int) []error {
+	return core.RunEngines(engines, workers)
+}
+
 // NewService builds the manager layer over a catalog.
 func NewService(cat *Catalog, seed int64) *Service { return core.NewService(cat, seed) }
 
 // OpenStore opens (or creates) a WAL-backed store at path.
-func OpenStore(path string) (*Store, error) { return store.Open(path, store.Options{}) }
+func OpenStore(path string) (Store, error) { return store.Open(path, store.Options{}) }
 
 // OpenMemoryStore returns a volatile in-memory store.
-func OpenMemoryStore() *Store { return store.OpenMemory() }
+func OpenMemoryStore() Store { return store.OpenMemory() }
 
-// NewCatalog wraps a store with the typed iTag schemas.
-func NewCatalog(db *Store) *Catalog { return store.NewCatalog(db) }
+// NewShardedStore returns a volatile in-memory store partitioned across n
+// single-lock shards (keys routed by their first path segment).
+func NewShardedStore(n int) *ShardedStore { return store.NewSharded(n) }
+
+// OpenShardedStore opens (or creates) a durable sharded store: n WAL shards
+// inside dir.
+func OpenShardedStore(dir string, n int) (*ShardedStore, error) {
+	return store.OpenSharded(dir, n, store.Options{})
+}
+
+// NewCatalog wraps a store backend with the typed iTag schemas.
+func NewCatalog(db Store) *Catalog { return store.NewCatalog(db) }
 
 // ParseStrategy resolves a strategy spec such as "fp-mu:frac=0.5,budget=1000".
 func ParseStrategy(spec string) (Strategy, error) { return strategy.Parse(spec) }
