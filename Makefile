@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-experiments bench-contention clean
+.PHONY: all build test vet race check loadgen bench bench-experiments bench-contention clean
 
 all: check
 
@@ -19,6 +19,12 @@ race:
 
 # The tier-1 verify plus vet — what CI runs.
 check: vet build test
+
+# API smoke: boot itagd on a memory store, drive the v1 batch + SSE
+# surface with the SDK load generator, then SIGTERM-drain the server.
+# Fails on any non-2xx, per-item error or dropped SSE event.
+loadgen:
+	./scripts/loadgen_smoke.sh
 
 # Paper tables + systems benchmarks, one iteration each.
 bench:

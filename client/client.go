@@ -1,0 +1,339 @@
+// Package client is the typed Go SDK for the iTag v1 HTTP API. It covers
+// the whole /api/v1 surface — registration, project lifecycle, the manual
+// tagging flow, the high-fanout batch endpoints, cursor pagination, the
+// SSE telemetry stream and the metrics snapshot — so a load generator or
+// an integration drives the server without hand-rolling HTTP.
+//
+//	c := client.New("http://localhost:8080", nil)
+//	provider, _ := c.RegisterProvider(ctx, "alice")
+//	project, _ := c.CreateProject(ctx, client.CreateProjectReq{
+//	    ProviderID: provider, Name: "demo", Budget: 500, Simulate: true,
+//	})
+//	_ = c.StartProject(ctx, project)
+//	stream, _ := c.StreamEvents(ctx, project)
+//	for ev := range stream.C { ... }
+//
+// Errors from the server are returned as *APIError carrying the HTTP
+// status, the machine-readable code and the request id, so callers switch
+// on codes instead of parsing messages.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// APIError is a non-2xx v1 response, decoded from the error envelope.
+type APIError struct {
+	Status    int    `json:"-"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("itag: %s (%d %s, rid=%s)", e.Message, e.Status, e.Code, e.RequestID)
+}
+
+// Well-known error codes (mirror internal/api; documented in docs/API.md).
+const (
+	CodeInvalidRequest  = "invalid_request"
+	CodeInvalidArgument = "invalid_argument"
+	CodeNotFound        = "not_found"
+	CodeProjectRunning  = "project_running"
+	CodeInvalidRole     = "invalid_role"
+	CodeBatchTooLarge   = "batch_too_large"
+	CodeTimeout         = "timeout"
+	CodeCanceled        = "canceled"
+	CodeInternal        = "internal"
+)
+
+// Client talks to one itagd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a Client for the server at base (e.g. "http://localhost:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// do sends one JSON exchange; out may be nil to discard the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf := &bytes.Buffer{}
+		if err := json.NewEncoder(buf).Encode(in); err != nil {
+			return fmt.Errorf("itag: encode request: %w", err)
+		}
+		body = buf
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("itag: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil {
+		env.Error.Status = resp.StatusCode
+		if env.Error.RequestID == "" {
+			env.Error.RequestID = resp.Header.Get("X-Request-Id")
+		}
+		return env.Error
+	}
+	return &APIError{
+		Status:    resp.StatusCode,
+		Code:      CodeInternal,
+		Message:   strings.TrimSpace(string(raw)),
+		RequestID: resp.Header.Get("X-Request-Id"),
+	}
+}
+
+// --- health & metrics -----------------------------------------------------------
+
+// Health checks GET /api/v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/api/v1/healthz", nil, nil)
+}
+
+// Metrics fetches the server's request metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/api/v1/metrics", nil, &m)
+	return m, err
+}
+
+// --- users ----------------------------------------------------------------------
+
+type registerReq struct {
+	Name string `json:"name"`
+}
+
+type idResp struct {
+	ID string `json:"id"`
+}
+
+// RegisterProvider registers a provider and returns its server-minted id.
+func (c *Client) RegisterProvider(ctx context.Context, name string) (string, error) {
+	var resp idResp
+	err := c.do(ctx, http.MethodPost, "/api/v1/providers", registerReq{Name: name}, &resp)
+	return resp.ID, err
+}
+
+// RegisterTagger registers a tagger and returns its server-minted id.
+func (c *Client) RegisterTagger(ctx context.Context, name string) (string, error) {
+	var resp idResp
+	err := c.do(ctx, http.MethodPost, "/api/v1/taggers", registerReq{Name: name}, &resp)
+	return resp.ID, err
+}
+
+// RegisterTaggers registers many taggers in one round-trip with per-item
+// results.
+func (c *Client) RegisterTaggers(ctx context.Context, names []string) (BatchRegisterResp, error) {
+	var resp BatchRegisterResp
+	err := c.do(ctx, http.MethodPost, "/api/v1/taggers:batch",
+		map[string][]string{"names": names}, &resp)
+	return resp, err
+}
+
+// GetUser fetches a user's approval rate and earnings.
+func (c *Client) GetUser(ctx context.Context, id string) (User, error) {
+	var u User
+	err := c.do(ctx, http.MethodGet, "/api/v1/users/"+url.PathEscape(id), nil, &u)
+	return u, err
+}
+
+// RateProvider records a tagger's rating of a provider.
+func (c *Client) RateProvider(ctx context.Context, providerID string, positive bool) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/providers/"+url.PathEscape(providerID)+"/rate",
+		map[string]bool{"positive": positive}, nil)
+}
+
+// --- projects -------------------------------------------------------------------
+
+// CreateProject creates a project and returns its id.
+func (c *Client) CreateProject(ctx context.Context, req CreateProjectReq) (string, error) {
+	var resp idResp
+	err := c.do(ctx, http.MethodPost, "/api/v1/projects", req, &resp)
+	return resp.ID, err
+}
+
+// ListProjects fetches one page of projects. providerID filters by owner
+// (""= all); limit 0 means everything; cursor "" starts from the top.
+func (c *Client) ListProjects(ctx context.Context, providerID, cursor string, limit int) (ProjectsPage, error) {
+	q := url.Values{}
+	if providerID != "" {
+		q.Set("provider", providerID)
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/api/v1/projects"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var page ProjectsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// GetProject fetches one project row with live run state.
+func (c *Client) GetProject(ctx context.Context, id string) (ProjectInfo, error) {
+	var info ProjectInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/projects/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// StartProject launches the project's simulated run.
+func (c *Client) StartProject(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/projects/"+url.PathEscape(id)+"/start", nil, nil)
+}
+
+// StopProject stops further allocation.
+func (c *Client) StopProject(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/projects/"+url.PathEscape(id)+"/stop", nil, nil)
+}
+
+// AddBudget extends the project's budget.
+func (c *Client) AddBudget(ctx context.Context, id string, extra int) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/projects/"+url.PathEscape(id)+"/budget",
+		map[string]int{"extra": extra}, nil)
+}
+
+// SwitchStrategy changes the allocation strategy mid-run.
+func (c *Client) SwitchStrategy(ctx context.Context, id, strategy string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/projects/"+url.PathEscape(id)+"/strategy",
+		map[string]string{"strategy": strategy}, nil)
+}
+
+// GetSeries fetches a monitoring curve; name "" means mean_stability.
+func (c *Client) GetSeries(ctx context.Context, id, name string) (Series, error) {
+	path := "/api/v1/projects/" + url.PathEscape(id) + "/series"
+	if name != "" {
+		path += "?name=" + url.QueryEscape(name)
+	}
+	var s Series
+	err := c.do(ctx, http.MethodGet, path, nil, &s)
+	return s, err
+}
+
+// Export fetches one page of the project's consolidated tags (limit 0 =
+// everything).
+func (c *Client) Export(ctx context.Context, id, cursor string, limit int) (ExportPage, error) {
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/api/v1/projects/" + url.PathEscape(id) + "/export"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var page ExportPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// GetResource fetches one resource's live status.
+func (c *Client) GetResource(ctx context.Context, projectID, resourceID string) (ResourceStatus, error) {
+	var st ResourceStatus
+	err := c.do(ctx, http.MethodGet,
+		"/api/v1/projects/"+url.PathEscape(projectID)+"/resources/"+url.PathEscape(resourceID), nil, &st)
+	return st, err
+}
+
+// PromoteResource queues a resource for guaranteed selection next step.
+func (c *Client) PromoteResource(ctx context.Context, projectID, resourceID string) error {
+	return c.resourceAction(ctx, projectID, resourceID, "promote")
+}
+
+// StopResource excludes a resource from further allocation.
+func (c *Client) StopResource(ctx context.Context, projectID, resourceID string) error {
+	return c.resourceAction(ctx, projectID, resourceID, "stop")
+}
+
+// ResumeResource re-enables a stopped resource.
+func (c *Client) ResumeResource(ctx context.Context, projectID, resourceID string) error {
+	return c.resourceAction(ctx, projectID, resourceID, "resume")
+}
+
+func (c *Client) resourceAction(ctx context.Context, projectID, resourceID, action string) error {
+	return c.do(ctx, http.MethodPost,
+		"/api/v1/projects/"+url.PathEscape(projectID)+"/resources/"+url.PathEscape(resourceID)+"/"+action,
+		nil, nil)
+}
+
+// --- tagger flow ----------------------------------------------------------------
+
+// RequestTask asks for the next tagging task for a tagger.
+func (c *Client) RequestTask(ctx context.Context, projectID, taggerID string) (Task, error) {
+	var t Task
+	err := c.do(ctx, http.MethodPost, "/api/v1/projects/"+url.PathEscape(projectID)+"/tasks",
+		map[string]string{"tagger_id": taggerID}, &t)
+	return t, err
+}
+
+// SubmitTask completes an assigned task with the tagger's post.
+func (c *Client) SubmitTask(ctx context.Context, projectID, taskID string, tags []string) error {
+	return c.do(ctx, http.MethodPost,
+		"/api/v1/projects/"+url.PathEscape(projectID)+"/tasks/"+url.PathEscape(taskID)+"/submit",
+		map[string][]string{"tags": tags}, nil)
+}
+
+// BatchTasks runs many request(+submit) pairs in one round-trip with
+// per-item results. The call succeeds even when individual items fail;
+// inspect Results/Failed.
+func (c *Client) BatchTasks(ctx context.Context, projectID string, items []BatchTaskItem) (BatchTasksResp, error) {
+	var resp BatchTasksResp
+	err := c.do(ctx, http.MethodPost, "/api/v1/projects/"+url.PathEscape(projectID)+"/tasks:batch",
+		map[string][]BatchTaskItem{"items": items}, &resp)
+	return resp, err
+}
+
+// JudgePost records the provider's verdict on a post (seq is 1-based).
+func (c *Client) JudgePost(ctx context.Context, projectID, resourceID string, seq uint64, approved bool) error {
+	return c.do(ctx, http.MethodPost,
+		fmt.Sprintf("/api/v1/projects/%s/posts/%s/%d/judge",
+			url.PathEscape(projectID), url.PathEscape(resourceID), seq),
+		map[string]bool{"approved": approved}, nil)
+}

@@ -1,24 +1,36 @@
-// Command itagd runs the iTag server: the HTTP JSON API over the manager
-// layer and the embedded WAL-backed store (the Go equivalent of the demo's
-// PHP/Python + MySQL stack).
+// Command itagd runs the iTag server: the versioned HTTP JSON API
+// (/api/v1, with legacy /api aliases) over the manager layer and the
+// embedded WAL-backed store (the Go equivalent of the demo's PHP/Python +
+// MySQL stack).
 //
 // Usage:
 //
 //	itagd [-addr :8080] [-db itag.wal] [-shards 1] [-seed 42]
+//	      [-write-timeout 60s] [-route-timeout 30s] [-grace 30s]
 //
 // With -db "" the store is in-memory (state lost on exit). With -shards N
 // (N > 1) the store is hash-partitioned across N locks; -db then names a
 // directory of per-shard WALs instead of a single file. See
 // internal/server for the endpoint reference and docs/ARCHITECTURE.md for
 // the sharding design.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
+// connections, waits up to -grace for live simulation runs to drain, ends
+// open SSE streams, and flushes the store.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"itag/internal/core"
 	"itag/internal/server"
@@ -31,6 +43,9 @@ func main() {
 	shards := flag.Int("shards", 1, "store shard count (>1 partitions keys across locks)")
 	seed := flag.Int64("seed", 42, "seed for simulated platforms and worlds")
 	quiet := flag.Bool("quiet", false, "disable request logging")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
+	routeTimeout := flag.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "itagd ", log.LstdFlags)
@@ -61,15 +76,68 @@ func main() {
 	defer db.Close()
 
 	svc := core.NewService(store.NewCatalog(db), *seed)
+	defer svc.Close()
 	var reqLog *log.Logger
 	if !*quiet {
 		reqLog = logger
 	}
-	srv := server.New(svc, reqLog)
+	srv := server.NewWith(svc, server.Options{Logger: reqLog, RouteTimeout: *routeTimeout})
 
-	logger.Printf("iTag listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	// baseCtx is the lifetime of every request context; cancelling it ends
+	// open SSE streams so Shutdown doesn't wait on them forever.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sigCtx.Done()
+		logger.Printf("signal received; draining runs (grace %s)", *grace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+
+		// Stop accepting first (Shutdown closes the listeners immediately,
+		// then waits for in-flight requests — including SSE streams, which
+		// end when baseCtx is cancelled below).
+		shutdownErr := make(chan error, 1)
+		go func() { shutdownErr <- httpSrv.Shutdown(drainCtx) }()
+
+		if err := svc.DrainRuns(drainCtx); err != nil {
+			logger.Printf("drain incomplete: %v (interrupting remaining runs)", err)
+			svc.Close() // hard-cancel engines still stepping
+		}
+		cancelBase() // end SSE streams so Shutdown can finish
+		if err := <-shutdownErr; err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		// All handlers have returned; catch any run started by a request
+		// that was in flight during the first drain.
+		if err := svc.DrainRuns(drainCtx); err != nil {
+			logger.Printf("late drain incomplete: %v (interrupting)", err)
+			svc.Close()
+		}
+		if err := db.Sync(); err != nil {
+			logger.Printf("store sync: %v", err)
+		}
+	}()
+
+	logger.Printf("iTag listening on %s (API /api/v1, legacy aliases /api)", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "itagd: %v\n", err)
 		os.Exit(1)
 	}
+	<-done
+	logger.Print("bye")
 }

@@ -1,0 +1,104 @@
+// Package api is the HTTP handler kit behind the versioned /api/v1
+// surface: a generics-based Handle adapter that owns decode/validate/encode
+// for every endpoint, a structured error envelope with machine-readable
+// codes, and a composable middleware chain (request IDs, panic recovery,
+// per-route timeouts, access logging, in-flight/latency metrics).
+//
+// The kit is transport policy only — it knows nothing about iTag's domain.
+// internal/server supplies the route table and the mapping from service
+// sentinels to API errors.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Machine-readable error codes carried in the v1 error envelope. Clients
+// switch on these, never on message text.
+const (
+	CodeInvalidRequest  = "invalid_request"  // malformed body / unknown fields
+	CodeInvalidArgument = "invalid_argument" // validation or state error
+	CodeNotFound        = "not_found"        // store.ErrNotFound
+	CodeProjectRunning  = "project_running"  // core.ErrProjectRunning
+	CodeInvalidRole     = "invalid_role"     // user exists but has the wrong role
+	CodeBatchTooLarge   = "batch_too_large"  // batch exceeds the per-call cap
+	CodeTimeout         = "timeout"          // per-route deadline exceeded
+	CodeCanceled        = "canceled"         // client disconnected mid-request
+	CodeInternal        = "internal"         // panic or unexpected failure
+)
+
+// Error is a transport-ready error: an HTTP status, a machine-readable
+// code, and a human message. Handlers may return one directly; anything
+// else is translated by the Kit's MapError hook.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RequestID is stamped by the write path, not by handlers.
+	RequestID string `json:"request_id,omitempty"`
+	cause     error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	return e.Code
+}
+
+// Unwrap exposes the wrapped cause for errors.Is/As.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(status int, code, format string, args ...any) *Error {
+	return &Error{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Wrap builds an *Error that keeps err as its cause and message.
+func Wrap(status int, code string, err error) *Error {
+	return &Error{Status: status, Code: code, Message: err.Error(), cause: err}
+}
+
+// AsError extracts an *Error from err's chain (nil if absent).
+func AsError(err error) *Error {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return nil
+}
+
+// envelope is the v1 error body: {"error": {"code": ..., "message": ...}}.
+type envelope struct {
+	Error *Error `json:"error"`
+}
+
+// legacyEnvelope is the pre-v1 body: {"error": "<message>"} — kept on the
+// legacy alias routes so existing scripts and tests keep parsing.
+type legacyEnvelope struct {
+	Error string `json:"error"`
+}
+
+// WriteError resolves err via the kit's mapper and writes the envelope
+// matching the route's era (v1 object, legacy string).
+func (k *Kit) WriteError(w http.ResponseWriter, r *http.Request, err error) {
+	ae := AsError(err)
+	if ae == nil && k.MapError != nil {
+		ae = k.MapError(err)
+	}
+	if ae == nil {
+		ae = Wrap(http.StatusBadRequest, CodeInvalidArgument, err)
+	}
+	if IsLegacy(r.Context()) {
+		WriteJSON(w, ae.Status, legacyEnvelope{Error: ae.Error()})
+		return
+	}
+	// Copy before stamping the request id: the mapper may hand back shared
+	// sentinel values.
+	stamped := *ae
+	stamped.RequestID = RequestIDFrom(r.Context())
+	WriteJSON(w, stamped.Status, envelope{Error: &stamped})
+}

@@ -1,0 +1,71 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Kit carries the cross-cutting pieces every typed handler needs: the
+// domain error mapper and the route metrics registry. It is shared by all
+// routes of one server.
+type Kit struct {
+	// MapError translates service errors (sentinels, validation failures)
+	// into transport errors. nil falls back to 400/invalid_argument.
+	MapError func(error) *Error
+	// Metrics collects per-route counters; nil disables collection.
+	Metrics *Metrics
+}
+
+// None marks a request or response with no JSON body. A Handle[None, R]
+// skips decoding; a Handle[Q, None] writes only the status code.
+type None struct{}
+
+// HandlerFunc is a typed endpoint: it gets the raw request (for path
+// values, query params and context) plus the decoded body, and returns the
+// response value or an error.
+type HandlerFunc[Req, Resp any] func(r *http.Request, req Req) (Resp, error)
+
+// Handle adapts a typed HandlerFunc into an http.HandlerFunc. It owns the
+// whole transport exchange: strict JSON decode (unknown fields rejected),
+// invoking fn, and encoding the response with the given success status —
+// or the error envelope when fn fails.
+func Handle[Req, Resp any](k *Kit, status int, fn HandlerFunc[Req, Resp]) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if _, skip := any(req).(None); !skip {
+			if err := DecodeJSON(r, &req); err != nil {
+				k.WriteError(w, r, err)
+				return
+			}
+		}
+		resp, err := fn(r, req)
+		if err != nil {
+			k.WriteError(w, r, err)
+			return
+		}
+		if _, none := any(resp).(None); none {
+			w.WriteHeader(status)
+			return
+		}
+		WriteJSON(w, status, resp)
+	}
+}
+
+// DecodeJSON strictly decodes the request body into v: unknown fields are
+// rejected, as is trailing garbage. An empty body is an error — endpoints
+// without a body use None.
+func DecodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return Errorf(http.StatusBadRequest, CodeInvalidRequest, "invalid request body: %v", err)
+	}
+	return nil
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

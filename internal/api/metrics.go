@@ -1,0 +1,124 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects in-flight and per-route request statistics. Routes are
+// labeled at registration time (the mux pattern), so the registry needs no
+// request parsing. Exposed as JSON at GET /api/v1/metrics.
+type Metrics struct {
+	started  time.Time
+	inFlight atomic.Int64
+	total    atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count      int64
+	errors     int64 // 4xx + 5xx
+	byClass    [6]int64
+	totalNanos int64
+	maxNanos   int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{started: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+// Track wraps a route handler with metrics collection under the given
+// label (conventionally the mux pattern).
+func (m *Metrics) Track(label string, h http.Handler) http.Handler {
+	if m == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		m.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			m.inFlight.Add(-1)
+			m.total.Add(1)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			m.mu.Lock()
+			rs, ok := m.routes[label]
+			if !ok {
+				rs = &routeStats{}
+				m.routes[label] = rs
+			}
+			rs.count++
+			if status >= 400 {
+				rs.errors++
+			}
+			if c := status / 100; c >= 1 && c <= 5 {
+				rs.byClass[c]++
+			}
+			rs.totalNanos += int64(elapsed)
+			if int64(elapsed) > rs.maxNanos {
+				rs.maxNanos = int64(elapsed)
+			}
+			m.mu.Unlock()
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// RouteSnapshot is one route's aggregated stats.
+type RouteSnapshot struct {
+	Route     string  `json:"route"`
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	Status2xx int64   `json:"status_2xx"`
+	Status4xx int64   `json:"status_4xx"`
+	Status5xx int64   `json:"status_5xx"`
+	AvgMillis float64 `json:"avg_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+// Snapshot is the full metrics view served at /api/v1/metrics.
+type Snapshot struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	InFlight      int64           `json:"in_flight"`
+	TotalRequests int64           `json:"total_requests"`
+	Routes        []RouteSnapshot `json:"routes"`
+}
+
+// Snapshot returns a point-in-time copy of all counters, routes sorted by
+// label for stable output.
+func (m *Metrics) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		TotalRequests: m.total.Load(),
+	}
+	m.mu.Lock()
+	for label, rs := range m.routes {
+		r := RouteSnapshot{
+			Route:     label,
+			Count:     rs.count,
+			Errors:    rs.errors,
+			Status2xx: rs.byClass[2],
+			Status4xx: rs.byClass[4],
+			Status5xx: rs.byClass[5],
+			MaxMillis: float64(rs.maxNanos) / 1e6,
+		}
+		if rs.count > 0 {
+			r.AvgMillis = float64(rs.totalNanos) / float64(rs.count) / 1e6
+		}
+		snap.Routes = append(snap.Routes, r)
+	}
+	m.mu.Unlock()
+	sort.Slice(snap.Routes, func(i, j int) bool { return snap.Routes[i].Route < snap.Routes[j].Route })
+	return snap
+}

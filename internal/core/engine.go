@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -211,9 +212,14 @@ func (v view) Eligible(i int) bool {
 
 // Run executes Algorithm 1 until the budget is exhausted or no eligible
 // resources remain.
-func (e *Engine) Run() error {
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
+
+// RunContext is Run under a context: cancellation is observed between
+// iterations and while waiting on the platform, so a handler timeout, a
+// client disconnect or a server drain actually stops the work.
+func (e *Engine) RunContext(ctx context.Context) error {
 	for {
-		done, err := e.StepOnce()
+		done, err := e.StepContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -226,7 +232,13 @@ func (e *Engine) Run() error {
 // StepOnce executes one Algorithm-1 iteration: ChooseResources, assign to
 // taggers via the platform, collect completions, Update. It returns
 // done=true when the run is finished.
-func (e *Engine) StepOnce() (bool, error) {
+func (e *Engine) StepOnce() (bool, error) { return e.StepContext(context.Background()) }
+
+// StepContext is StepOnce under a context.
+func (e *Engine) StepContext(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	e.mu.Lock()
 	remaining := e.budget - e.spent
 	if remaining <= 0 {
@@ -284,6 +296,9 @@ func (e *Engine) StepOnce() (bool, error) {
 	// Drive the platform until this batch completes.
 	stall := 0
 	for outstanding > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		produced := e.cfg.Platform.Step()
 		if produced == 0 {
 			stall++

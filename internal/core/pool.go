@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -34,6 +35,14 @@ const DefaultPoolWorkers = 8
 // Run drives every engine to completion and returns a slice parallel to
 // engines holding each run's error (nil on success).
 func (p Pool) Run(engines []*Engine) []error {
+	return p.RunContext(context.Background(), engines)
+}
+
+// RunContext is Run under a context: when ctx is cancelled, every engine
+// still in flight retires with ctx's error instead of running to
+// completion (engines observe the context inside StepContext too, so a
+// cancellation interrupts even a long platform wait).
+func (p Pool) RunContext(ctx context.Context, engines []*Engine) []error {
 	n := len(engines)
 	errs := make([]error, n)
 	if n == 0 {
@@ -64,7 +73,7 @@ func (p Pool) Run(engines []*Engine) []error {
 		go func() {
 			defer wg.Done()
 			for i := range queue {
-				done, err := engines[i].StepOnce()
+				done, err := engines[i].StepContext(ctx)
 				if err != nil {
 					errs[i] = err
 					done = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -82,13 +83,13 @@ func TestPoolRetiresFailingEngineOnly(t *testing.T) {
 func TestServiceRunSimulations(t *testing.T) {
 	// Full stack over a sharded backend: service → engines → pool → catalog.
 	s := NewService(store.NewCatalog(store.NewSharded(8)), 77)
-	prov, err := s.RegisterProvider("fleet-owner")
+	prov, err := s.RegisterProvider(context.Background(), "fleet-owner")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var ids []string
 	for i := 0; i < 3; i++ {
-		id, err := s.CreateProject(ProjectSpec{
+		id, err := s.CreateProject(context.Background(), ProjectSpec{
 			ProviderID: prov, Name: "fleet", Budget: 40,
 			Simulate: true, NumResources: 10,
 		})
@@ -97,7 +98,7 @@ func TestServiceRunSimulations(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	if err := s.RunSimulations(ids, 4); err != nil {
+	if err := s.RunSimulations(context.Background(), ids, 4); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range ids {
@@ -111,7 +112,7 @@ func TestServiceRunSimulations(t *testing.T) {
 		if rec.Spent != 40 {
 			t.Fatalf("project %s spent %d, want 40", id, rec.Spent)
 		}
-		if err := s.WaitSimulation(id); err != nil {
+		if err := s.WaitSimulation(context.Background(), id); err != nil {
 			t.Fatalf("wait %s: %v", id, err)
 		}
 	}
@@ -119,12 +120,12 @@ func TestServiceRunSimulations(t *testing.T) {
 
 func TestRunSimulationsClaimRollback(t *testing.T) {
 	s := NewService(store.NewCatalog(store.OpenMemory()), 33)
-	prov, err := s.RegisterProvider("p")
+	prov, err := s.RegisterProvider(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
 	mk := func() string {
-		id, err := s.CreateProject(ProjectSpec{
+		id, err := s.CreateProject(context.Background(), ProjectSpec{
 			ProviderID: prov, Name: "fleet", Budget: 24,
 			Simulate: true, NumResources: 8,
 		})
@@ -144,7 +145,7 @@ func TestRunSimulationsClaimRollback(t *testing.T) {
 	runB.running = true
 	runB.mu.Unlock()
 
-	if err := s.RunSimulations([]string{a, b}, 2); !errors.Is(err, ErrProjectRunning) {
+	if err := s.RunSimulations(context.Background(), []string{a, b}, 2); !errors.Is(err, ErrProjectRunning) {
 		t.Fatalf("conflicting batch: got %v, want ErrProjectRunning", err)
 	}
 	runB.mu.Lock()
@@ -152,28 +153,28 @@ func TestRunSimulationsClaimRollback(t *testing.T) {
 	runB.mu.Unlock()
 
 	// The rollback must leave a claimable again.
-	if err := s.RunSimulations([]string{a}, 2); err != nil {
+	if err := s.RunSimulations(context.Background(), []string{a}, 2); err != nil {
 		t.Fatalf("a not startable after rollback: %v", err)
 	}
-	if err := s.WaitSimulation(a); err != nil {
+	if err := s.WaitSimulation(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSimulationsRejectsManualProject(t *testing.T) {
 	s := NewService(store.NewCatalog(store.OpenMemory()), 5)
-	prov, err := s.RegisterProvider("p")
+	prov, err := s.RegisterProvider(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.CreateProject(ProjectSpec{
+	id, err := s.CreateProject(context.Background(), ProjectSpec{
 		ProviderID: prov, Name: "manual", Budget: 10,
 		Resources: []dataset.Resource{{ID: "up-1", Name: "uploaded", Popularity: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RunSimulations([]string{id}, 2); err == nil {
+	if err := s.RunSimulations(context.Background(), []string{id}, 2); err == nil {
 		t.Fatal("RunSimulations accepted a manual (uploaded-resources) project")
 	}
 }

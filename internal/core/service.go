@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"sort"
@@ -20,6 +22,12 @@ import (
 // Resource, Tag, Quality and User managers over the persistent catalog and
 // owns live project runs. The HTTP server and the CLI tools are thin
 // frontends over it.
+//
+// Every entry point takes a context.Context and observes cancellation, so
+// HTTP handler timeouts and client disconnects propagate into the work
+// instead of leaking goroutines. Background simulation runs are attached
+// to the Service's own lifetime context (Close cancels them); DrainRuns
+// waits for them, which is what itagd's graceful shutdown uses.
 type Service struct {
 	mu      sync.Mutex
 	cat     *store.Catalog
@@ -29,6 +37,9 @@ type Service struct {
 	nextID  int
 	seed    int64
 	nowFunc func() time.Time
+
+	lifeCtx    context.Context
+	cancelLife context.CancelFunc
 }
 
 // Run is a live project: the engine plus its simulation scaffolding.
@@ -49,17 +60,28 @@ type Run struct {
 // ErrProjectRunning is returned when an operation requires a stopped run.
 var ErrProjectRunning = errors.New("core: project run already in progress")
 
+// ErrInvalidRole is returned when an operation targets a user that exists
+// but has the wrong role (e.g. rating a tagger as if it were a provider).
+var ErrInvalidRole = errors.New("core: user has the wrong role for this operation")
+
 // NewService builds a Service over a catalog.
 func NewService(cat *store.Catalog, seed int64) *Service {
+	lifeCtx, cancel := context.WithCancel(context.Background())
 	return &Service{
-		cat:     cat,
-		um:      users.NewManager(),
-		ledger:  crowd.NewLedger(),
-		runs:    make(map[string]*Run),
-		seed:    seed,
-		nowFunc: func() time.Time { return time.Now().UTC() },
+		cat:        cat,
+		um:         users.NewManager(),
+		ledger:     crowd.NewLedger(),
+		runs:       make(map[string]*Run),
+		seed:       seed,
+		nowFunc:    func() time.Time { return time.Now().UTC() },
+		lifeCtx:    lifeCtx,
+		cancelLife: cancel,
 	}
 }
+
+// Close cancels the service's lifetime context, interrupting every
+// background simulation run. It does not close the underlying store.
+func (s *Service) Close() { s.cancelLife() }
 
 // Users exposes the User Manager.
 func (s *Service) Users() *users.Manager { return s.um }
@@ -78,7 +100,10 @@ func (s *Service) newID(prefix string) string {
 // --- users --------------------------------------------------------------------
 
 // RegisterProvider persists a provider and returns its ID.
-func (s *Service) RegisterProvider(name string) (string, error) {
+func (s *Service) RegisterProvider(ctx context.Context, name string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	s.mu.Lock()
 	id := s.newID("prov")
 	s.mu.Unlock()
@@ -87,7 +112,10 @@ func (s *Service) RegisterProvider(name string) (string, error) {
 }
 
 // RegisterTagger persists a tagger and returns its ID.
-func (s *Service) RegisterTagger(name string) (string, error) {
+func (s *Service) RegisterTagger(ctx context.Context, name string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	s.mu.Lock()
 	id := s.newID("tag")
 	s.mu.Unlock()
@@ -117,7 +145,10 @@ type ProjectSpec struct {
 }
 
 // CreateProject validates and persists a project with its resources.
-func (s *Service) CreateProject(spec ProjectSpec) (string, error) {
+func (s *Service) CreateProject(ctx context.Context, spec ProjectSpec) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	if spec.ProviderID == "" {
 		return "", errors.New("core: provider ID required")
 	}
@@ -297,8 +328,12 @@ func (s *Service) run(projectID string) (*Run, error) {
 
 // StartSimulation launches the project's engine in the background
 // (simulated-tagger mode); it is an error for manual projects or if already
-// running.
-func (s *Service) StartSimulation(projectID string) error {
+// running. ctx gates only the launch; the run itself is attached to the
+// Service lifetime (Close interrupts it, DrainRuns waits for it).
+func (s *Service) StartSimulation(ctx context.Context, projectID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -313,8 +348,9 @@ func (s *Service) StartSimulation(projectID string) error {
 	}
 	run.running = true
 	run.doneCh = make(chan struct{})
+	run.Engine.Monitor().Restart()
 	go func() {
-		err := run.Engine.Run()
+		err := run.Engine.RunContext(s.lifeCtx)
 		run.mu.Lock()
 		run.runErr = err
 		run.running = false
@@ -332,6 +368,7 @@ func (s *Service) finishProject(projectID string, runErr error) {
 	}
 	if run, rerr := s.run(projectID); rerr == nil {
 		rec.Spent = run.Engine.Spent()
+		run.Engine.Monitor().Finish(rec.Spent, runErr)
 	}
 	if runErr == nil {
 		rec.Status = store.ProjectDone
@@ -344,8 +381,9 @@ func (s *Service) finishProject(projectID string, runErr error) {
 // across projects instead of running them serially. It blocks until every
 // project finishes and returns the first project error (all projects still
 // run to their own completion or failure; per-project errors are also
-// visible through WaitSimulation).
-func (s *Service) RunSimulations(projectIDs []string, workers int) error {
+// visible through WaitSimulation). Cancelling ctx retires every in-flight
+// engine with the context's error.
+func (s *Service) RunSimulations(ctx context.Context, projectIDs []string, workers int) error {
 	if len(projectIDs) == 0 {
 		return nil
 	}
@@ -385,10 +423,11 @@ func (s *Service) RunSimulations(projectIDs []string, workers int) error {
 		prevCh[i] = run.doneCh
 		run.running = true
 		run.doneCh = make(chan struct{})
+		run.Engine.Monitor().Restart()
 		run.mu.Unlock()
 	}
 
-	errs := Pool{Workers: workers}.Run(engines)
+	errs := Pool{Workers: workers}.RunContext(ctx, engines)
 
 	var first error
 	for i, run := range runs {
@@ -405,9 +444,9 @@ func (s *Service) RunSimulations(projectIDs []string, workers int) error {
 	return first
 }
 
-// WaitSimulation blocks until the background run finishes and returns its
-// error.
-func (s *Service) WaitSimulation(projectID string) error {
+// WaitSimulation blocks until the background run finishes (or ctx is
+// cancelled) and returns the run's error.
+func (s *Service) WaitSimulation(ctx context.Context, projectID string) error {
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -418,16 +457,53 @@ func (s *Service) WaitSimulation(projectID string) error {
 	if ch == nil {
 		return errors.New("core: simulation was never started")
 	}
-	<-ch
+	select {
+	case <-ch:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	run.mu.Lock()
 	defer run.mu.Unlock()
 	return run.runErr
 }
 
+// RunningProjects returns the IDs of projects whose simulation is live.
+func (s *Service) RunningProjects() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, run := range s.runs {
+		run.mu.Lock()
+		if run.running {
+			out = append(out, id)
+		}
+		run.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DrainRuns waits for every live simulation to finish — the SIGTERM drain
+// in itagd. It returns ctx's error when the deadline expires first.
+func (s *Service) DrainRuns(ctx context.Context) error {
+	for _, id := range s.RunningProjects() {
+		if err := s.WaitSimulation(ctx, id); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// The run itself failed; draining still succeeded.
+		}
+	}
+	return nil
+}
+
 // --- provider controls ----------------------------------------------------------
 
 // Promote forwards to the project's engine.
-func (s *Service) Promote(projectID, resourceID string) error {
+func (s *Service) Promote(ctx context.Context, projectID, resourceID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -436,7 +512,10 @@ func (s *Service) Promote(projectID, resourceID string) error {
 }
 
 // StopResource forwards to the project's engine.
-func (s *Service) StopResource(projectID, resourceID string) error {
+func (s *Service) StopResource(ctx context.Context, projectID, resourceID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -448,7 +527,10 @@ func (s *Service) StopResource(projectID, resourceID string) error {
 }
 
 // ResumeResource forwards to the project's engine.
-func (s *Service) ResumeResource(projectID, resourceID string) error {
+func (s *Service) ResumeResource(ctx context.Context, projectID, resourceID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -469,7 +551,10 @@ func (s *Service) flagResource(resourceID string, mut func(*store.ResourceRec)) 
 }
 
 // SwitchStrategy changes a project's allocation strategy mid-run.
-func (s *Service) SwitchStrategy(projectID, spec string) error {
+func (s *Service) SwitchStrategy(ctx context.Context, projectID, spec string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -488,7 +573,10 @@ func (s *Service) SwitchStrategy(projectID, spec string) error {
 }
 
 // AddBudget extends a project's budget.
-func (s *Service) AddBudget(projectID string, extra int) error {
+func (s *Service) AddBudget(ctx context.Context, projectID string, extra int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -506,7 +594,10 @@ func (s *Service) AddBudget(projectID string, extra int) error {
 }
 
 // StopProject halts further allocation (the Stop button on the main UI).
-func (s *Service) StopProject(projectID string) error {
+func (s *Service) StopProject(ctx context.Context, projectID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	rec, err := s.cat.GetProject(projectID)
 	if err != nil {
 		return err
@@ -537,7 +628,10 @@ type ProjectInfo struct {
 }
 
 // Project returns one project's info.
-func (s *Service) Project(projectID string) (ProjectInfo, error) {
+func (s *Service) Project(ctx context.Context, projectID string) (ProjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ProjectInfo{}, err
+	}
 	rec, err := s.cat.GetProject(projectID)
 	if err != nil {
 		return ProjectInfo{}, err
@@ -557,25 +651,57 @@ func (s *Service) Project(projectID string) (ProjectInfo, error) {
 }
 
 // Projects lists projects (optionally by provider), sorted by ID.
-func (s *Service) Projects(providerID string) ([]ProjectInfo, error) {
+func (s *Service) Projects(ctx context.Context, providerID string) ([]ProjectInfo, error) {
+	infos, _, err := s.ProjectsPage(ctx, providerID, "", 0)
+	return infos, err
+}
+
+// ProjectsPage is Projects with cursor pagination: it returns up to limit
+// rows after the cursor (limit <= 0 means all) plus the cursor for the
+// next page ("" when exhausted). Cursors are opaque; a stale cursor — the
+// project it pointed at was deleted — still works, resuming after its
+// position in ID order.
+func (s *Service) ProjectsPage(ctx context.Context, providerID, cursor string, limit int) ([]ProjectInfo, string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	after, err := decodeCursor(cursor)
+	if err != nil {
+		return nil, "", err
+	}
 	recs, err := s.cat.ListProjects(providerID)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 	out := make([]ProjectInfo, 0, len(recs))
-	for _, rec := range recs {
-		info, err := s.Project(rec.ID)
+	for i, rec := range recs {
+		if rec.ID <= after {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		info, err := s.Project(ctx, rec.ID)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		out = append(out, info)
+		if limit > 0 && len(out) == limit {
+			if i < len(recs)-1 {
+				return out, encodeCursor(rec.ID), nil
+			}
+			break
+		}
 	}
-	return out, nil
+	return out, "", nil
 }
 
 // ResourceDetail returns the single-resource details (Fig. 6).
-func (s *Service) ResourceDetail(projectID, resourceID string) (ResourceStatus, error) {
+func (s *Service) ResourceDetail(ctx context.Context, projectID, resourceID string) (ResourceStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return ResourceStatus{}, err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return ResourceStatus{}, err
@@ -585,7 +711,10 @@ func (s *Service) ResourceDetail(projectID, resourceID string) (ResourceStatus, 
 
 // QualitySeries returns a monitoring series for the project details screen
 // (Fig. 5).
-func (s *Service) QualitySeries(projectID, name string) ([]float64, []float64, error) {
+func (s *Service) QualitySeries(ctx context.Context, projectID, name string) ([]float64, []float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return nil, nil, err
@@ -603,10 +732,26 @@ func (s *Service) QualitySeries(projectID, name string) ([]float64, []float64, e
 	return xs, ys, nil
 }
 
+// Subscribe attaches a telemetry subscriber to the project's live run —
+// the feed behind GET /api/v1/projects/{id}/events.
+func (s *Service) Subscribe(ctx context.Context, projectID string, buf int) (*Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run, err := s.run(projectID)
+	if err != nil {
+		return nil, err
+	}
+	return run.Engine.Monitor().Subscribe(buf), nil
+}
+
 // --- manual (audience participation) flow -----------------------------------------
 
 // RequestTask assigns the next tagging task to a human tagger (Fig. 7/8).
-func (s *Service) RequestTask(projectID, taggerID string) (store.TaskRec, error) {
+func (s *Service) RequestTask(ctx context.Context, projectID, taggerID string) (store.TaskRec, error) {
+	if err := ctx.Err(); err != nil {
+		return store.TaskRec{}, err
+	}
 	if _, err := s.cat.GetUser(taggerID); err != nil {
 		return store.TaskRec{}, fmt.Errorf("core: unknown tagger %q", taggerID)
 	}
@@ -635,7 +780,10 @@ func (s *Service) RequestTask(projectID, taggerID string) (store.TaskRec, error)
 }
 
 // SubmitTask completes a manual task with the tagger's post.
-func (s *Service) SubmitTask(projectID, taskID string, tags []string) error {
+func (s *Service) SubmitTask(ctx context.Context, projectID, taskID string, tags []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
 		return err
@@ -668,7 +816,10 @@ func (s *Service) SubmitTask(projectID, taskID string, tags []string) error {
 
 // JudgePost records the provider's approval verdict on a stored post and,
 // on approval, pays the incentive (Fig. 6 Notification actions).
-func (s *Service) JudgePost(projectID, resourceID string, seq uint64, approved bool) error {
+func (s *Service) JudgePost(ctx context.Context, projectID, resourceID string, seq uint64, approved bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	post, err := s.cat.GetPost(resourceID, seq)
 	if err != nil {
 		return err
@@ -695,9 +846,21 @@ func (s *Service) JudgePost(projectID, resourceID string, seq uint64, approved b
 	return nil
 }
 
-// RateProvider records a tagger's rating of a provider.
-func (s *Service) RateProvider(providerID string, positive bool) {
+// RateProvider records a tagger's rating of a provider. The target must
+// exist and actually be a provider (ErrInvalidRole otherwise).
+func (s *Service) RateProvider(ctx context.Context, providerID string, positive bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rec, err := s.cat.GetUser(providerID)
+	if err != nil {
+		return err
+	}
+	if rec.Role != store.RoleProvider {
+		return fmt.Errorf("%w: %q is a %s, not a provider", ErrInvalidRole, providerID, rec.Role)
+	}
 	s.um.RecordProviderRating(providerID, positive)
+	return nil
 }
 
 // ExportedResource is one row of a project export (the Export action).
@@ -710,17 +873,36 @@ type ExportedResource struct {
 }
 
 // Export returns the project's resources with their consolidated tags.
-func (s *Service) Export(projectID string) ([]ExportedResource, error) {
+func (s *Service) Export(ctx context.Context, projectID string) ([]ExportedResource, error) {
+	rows, _, err := s.ExportPage(ctx, projectID, "", 0)
+	return rows, err
+}
+
+// ExportPage is Export with cursor pagination over resource IDs: up to
+// limit rows after the cursor (limit <= 0 means all) plus the next-page
+// cursor ("" when exhausted).
+func (s *Service) ExportPage(ctx context.Context, projectID, cursor string, limit int) ([]ExportedResource, string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	after, err := decodeCursor(cursor)
+	if err != nil {
+		return nil, "", err
+	}
 	run, err := s.run(projectID)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	recs, err := s.cat.ListResources(projectID)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 	out := make([]ExportedResource, 0, len(recs))
-	for _, rec := range recs {
+	for i, rec := range recs {
+		if rec.ID <= after {
+			continue
+		}
 		st, err := run.Engine.Status(rec.ID)
 		if err != nil {
 			continue
@@ -729,6 +911,30 @@ func (s *Service) Export(projectID string) ([]ExportedResource, error) {
 			ID: rec.ID, Name: rec.Name, Posts: st.Posts,
 			Stability: st.Stability, TopTags: st.TopTags,
 		})
+		if limit > 0 && len(out) == limit {
+			if i < len(recs)-1 {
+				return out, encodeCursor(rec.ID), nil
+			}
+			break
+		}
 	}
-	return out, nil
+	return out, "", nil
+}
+
+// --- cursors ------------------------------------------------------------------
+
+// Cursors are opaque to clients: base64url over the last-returned ID.
+func encodeCursor(id string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(id))
+}
+
+func decodeCursor(cursor string) (string, error) {
+	if cursor == "" {
+		return "", nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return "", fmt.Errorf("core: invalid cursor %q", cursor)
+	}
+	return string(raw), nil
 }

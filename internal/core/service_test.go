@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,11 +17,11 @@ func newService(t *testing.T) *Service {
 
 func createSimProject(t *testing.T, s *Service, budget int) (providerID, projectID string) {
 	t.Helper()
-	prov, err := s.RegisterProvider("alice")
+	prov, err := s.RegisterProvider(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	proj, err := s.CreateProject(ProjectSpec{
+	proj, err := s.CreateProject(context.Background(), ProjectSpec{
 		ProviderID: prov, Name: "demo", Budget: budget, PayPerTask: 0.05,
 		Strategy: "fp-mu", Simulate: true, NumResources: 12,
 	})
@@ -32,20 +33,20 @@ func createSimProject(t *testing.T, s *Service, budget int) (providerID, project
 
 func TestCreateProjectValidation(t *testing.T) {
 	s := newService(t)
-	if _, err := s.CreateProject(ProjectSpec{}); err == nil {
+	if _, err := s.CreateProject(context.Background(), ProjectSpec{}); err == nil {
 		t.Error("missing provider must fail")
 	}
-	if _, err := s.CreateProject(ProjectSpec{ProviderID: "ghost", Budget: 10, Simulate: true}); err == nil {
+	if _, err := s.CreateProject(context.Background(), ProjectSpec{ProviderID: "ghost", Budget: 10, Simulate: true}); err == nil {
 		t.Error("unknown provider must fail")
 	}
-	prov, _ := s.RegisterProvider("p")
-	if _, err := s.CreateProject(ProjectSpec{ProviderID: prov, Simulate: true}); err == nil {
+	prov, _ := s.RegisterProvider(context.Background(), "p")
+	if _, err := s.CreateProject(context.Background(), ProjectSpec{ProviderID: prov, Simulate: true}); err == nil {
 		t.Error("zero budget must fail")
 	}
-	if _, err := s.CreateProject(ProjectSpec{ProviderID: prov, Budget: 10, Strategy: "bogus", Simulate: true}); err == nil {
+	if _, err := s.CreateProject(context.Background(), ProjectSpec{ProviderID: prov, Budget: 10, Strategy: "bogus", Simulate: true}); err == nil {
 		t.Error("bad strategy must fail")
 	}
-	if _, err := s.CreateProject(ProjectSpec{ProviderID: prov, Budget: 10}); err == nil {
+	if _, err := s.CreateProject(context.Background(), ProjectSpec{ProviderID: prov, Budget: 10}); err == nil {
 		t.Error("no resources and no simulate must fail")
 	}
 }
@@ -54,23 +55,23 @@ func TestSimulatedProjectLifecycle(t *testing.T) {
 	s := newService(t)
 	prov, proj := createSimProject(t, s, 120)
 
-	info, err := s.Project(proj)
+	info, err := s.Project(context.Background(), proj)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Project.ProviderID != prov || info.Running {
 		t.Errorf("info = %+v", info)
 	}
-	if err := s.StartSimulation(proj); err != nil {
+	if err := s.StartSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.StartSimulation(proj); err == nil {
+	if err := s.StartSimulation(context.Background(), proj); err == nil {
 		t.Error("double start must fail")
 	}
-	if err := s.WaitSimulation(proj); err != nil {
+	if err := s.WaitSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	info, _ = s.Project(proj)
+	info, _ = s.Project(context.Background(), proj)
 	if info.Spent != 120 {
 		t.Errorf("spent = %d, want 120", info.Spent)
 	}
@@ -93,15 +94,15 @@ func TestSimulatedProjectLifecycle(t *testing.T) {
 		t.Errorf("persisted posts = %d", totalPosts)
 	}
 	// Series available.
-	xs, ys, err := s.QualitySeries(proj, SeriesMeanStability)
+	xs, ys, err := s.QualitySeries(context.Background(), proj, SeriesMeanStability)
 	if err != nil || len(xs) == 0 || len(ys) != len(xs) {
 		t.Errorf("series: %d/%d, %v", len(xs), len(ys), err)
 	}
-	if _, _, err := s.QualitySeries(proj, "nope"); err == nil {
+	if _, _, err := s.QualitySeries(context.Background(), proj, "nope"); err == nil {
 		t.Error("unknown series must fail")
 	}
 	// Export produces rows with tags.
-	rows, err := s.Export(proj)
+	rows, err := s.Export(context.Background(), proj)
 	if err != nil || len(rows) != 12 {
 		t.Fatalf("export: %d rows, %v", len(rows), err)
 	}
@@ -119,47 +120,47 @@ func TestSimulatedProjectLifecycle(t *testing.T) {
 func TestProviderControlsThroughService(t *testing.T) {
 	s := newService(t)
 	_, proj := createSimProject(t, s, 60)
-	if err := s.StopResource(proj, "r0003"); err != nil {
+	if err := s.StopResource(context.Background(), proj, "r0003"); err != nil {
 		t.Fatal(err)
 	}
 	rec, _ := s.Catalog().GetResource("r0003")
 	if !rec.Stopped {
 		t.Error("stop not persisted")
 	}
-	if err := s.ResumeResource(proj, "r0003"); err != nil {
+	if err := s.ResumeResource(context.Background(), proj, "r0003"); err != nil {
 		t.Fatal(err)
 	}
 	rec, _ = s.Catalog().GetResource("r0003")
 	if rec.Stopped {
 		t.Error("resume not persisted")
 	}
-	if err := s.Promote(proj, "r0005"); err != nil {
+	if err := s.Promote(context.Background(), proj, "r0005"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SwitchStrategy(proj, "mu"); err != nil {
+	if err := s.SwitchStrategy(context.Background(), proj, "mu"); err != nil {
 		t.Fatal(err)
 	}
 	prec, _ := s.Catalog().GetProject(proj)
 	if prec.Strategy != "mu" {
 		t.Errorf("strategy not persisted: %s", prec.Strategy)
 	}
-	if err := s.SwitchStrategy(proj, "garbage"); err == nil {
+	if err := s.SwitchStrategy(context.Background(), proj, "garbage"); err == nil {
 		t.Error("bad strategy spec must fail")
 	}
-	if err := s.AddBudget(proj, 40); err != nil {
+	if err := s.AddBudget(context.Background(), proj, 40); err != nil {
 		t.Fatal(err)
 	}
 	prec, _ = s.Catalog().GetProject(proj)
 	if prec.Budget != 100 {
 		t.Errorf("budget not persisted: %d", prec.Budget)
 	}
-	if err := s.StartSimulation(proj); err != nil {
+	if err := s.StartSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WaitSimulation(proj); err != nil {
+	if err := s.WaitSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	info, _ := s.Project(proj)
+	info, _ := s.Project(context.Background(), proj)
 	if info.Spent != 100 {
 		t.Errorf("spent = %d, want 100", info.Spent)
 	}
@@ -167,9 +168,9 @@ func TestProviderControlsThroughService(t *testing.T) {
 
 func TestManualTaskFlow(t *testing.T) {
 	s := newService(t)
-	prov, _ := s.RegisterProvider("bob")
-	tagger, _ := s.RegisterTagger("carol")
-	proj, err := s.CreateProject(ProjectSpec{
+	prov, _ := s.RegisterProvider(context.Background(), "bob")
+	tagger, _ := s.RegisterTagger(context.Background(), "carol")
+	proj, err := s.CreateProject(context.Background(), ProjectSpec{
 		ProviderID: prov, Name: "manual", Budget: 3, PayPerTask: 0.10,
 		Strategy:  "fp",
 		Resources: manualResources(),
@@ -177,14 +178,14 @@ func TestManualTaskFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.StartSimulation(proj); err == nil {
+	if err := s.StartSimulation(context.Background(), proj); err == nil {
 		t.Error("manual project must refuse simulation")
 	}
 	// Unknown tagger rejected.
-	if _, err := s.RequestTask(proj, "ghost"); err == nil {
+	if _, err := s.RequestTask(context.Background(), proj, "ghost"); err == nil {
 		t.Error("unknown tagger must fail")
 	}
-	task, err := s.RequestTask(proj, tagger)
+	task, err := s.RequestTask(context.Background(), proj, tagger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,13 +193,13 @@ func TestManualTaskFlow(t *testing.T) {
 		t.Errorf("task = %+v", task)
 	}
 	// Bad submission (empty tags) keeps the task claimable.
-	if err := s.SubmitTask(proj, task.ID, nil); err == nil {
+	if err := s.SubmitTask(context.Background(), proj, task.ID, nil); err == nil {
 		t.Error("empty tags must fail")
 	}
-	if err := s.SubmitTask(proj, task.ID, []string{"go", "db"}); err != nil {
+	if err := s.SubmitTask(context.Background(), proj, task.ID, []string{"go", "db"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SubmitTask(proj, task.ID, []string{"again"}); err == nil {
+	if err := s.SubmitTask(context.Background(), proj, task.ID, []string{"again"}); err == nil {
 		t.Error("double submit must fail")
 	}
 	rec, err := s.Catalog().GetTask(proj, task.ID)
@@ -210,10 +211,10 @@ func TestManualTaskFlow(t *testing.T) {
 	if len(posts) != 1 || posts[0].Approved != nil {
 		t.Fatalf("posts = %+v", posts)
 	}
-	if err := s.JudgePost(proj, task.ResourceID, 1, true); err != nil {
+	if err := s.JudgePost(context.Background(), proj, task.ResourceID, 1, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.JudgePost(proj, task.ResourceID, 1, false); err == nil {
+	if err := s.JudgePost(context.Background(), proj, task.ResourceID, 1, false); err == nil {
 		t.Error("double judgment must fail")
 	}
 	if got := s.Users().TaggerApprovalRate(tagger); got != 1 {
@@ -224,20 +225,20 @@ func TestManualTaskFlow(t *testing.T) {
 	}
 	// Exhaust the budget.
 	for i := 0; i < 2; i++ {
-		tk, err := s.RequestTask(proj, tagger)
+		tk, err := s.RequestTask(context.Background(), proj, tagger)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.SubmitTask(proj, tk.ID, []string{"x"}); err != nil {
+		if err := s.SubmitTask(context.Background(), proj, tk.ID, []string{"x"}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.RequestTask(proj, tagger); err == nil {
+	if _, err := s.RequestTask(context.Background(), proj, tagger); err == nil {
 		t.Error("exhausted budget must refuse tasks")
 	}
 	// Provider rating flows through.
-	s.RateProvider(prov, true)
-	s.RateProvider(prov, false)
+	s.RateProvider(context.Background(), prov, true)
+	s.RateProvider(context.Background(), prov, false)
 	if got := s.Users().ProviderApprovalRate(prov); got != 0.5 {
 		t.Errorf("provider rate = %v", got)
 	}
@@ -251,10 +252,10 @@ func TestServicePersistenceAcrossReopen(t *testing.T) {
 	}
 	s := NewService(store.NewCatalog(db), 5)
 	_, proj := createSimProject(t, s, 40)
-	if err := s.StartSimulation(proj); err != nil {
+	if err := s.StartSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WaitSimulation(proj); err != nil {
+	if err := s.WaitSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Close(); err != nil {
@@ -280,7 +281,7 @@ func TestServicePersistenceAcrossReopen(t *testing.T) {
 func TestStopProject(t *testing.T) {
 	s := newService(t)
 	_, proj := createSimProject(t, s, 500)
-	if err := s.StopProject(proj); err != nil {
+	if err := s.StopProject(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
 	rec, _ := s.Catalog().GetProject(proj)
@@ -288,13 +289,13 @@ func TestStopProject(t *testing.T) {
 		t.Errorf("status = %s", rec.Status)
 	}
 	// With everything stopped the engine drains immediately.
-	if err := s.StartSimulation(proj); err != nil {
+	if err := s.StartSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WaitSimulation(proj); err != nil {
+	if err := s.WaitSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	info, _ := s.Project(proj)
+	info, _ := s.Project(context.Background(), proj)
 	if info.Spent != 0 {
 		t.Errorf("stopped project spent %d", info.Spent)
 	}
@@ -303,44 +304,44 @@ func TestStopProject(t *testing.T) {
 func TestResourceDetailThroughService(t *testing.T) {
 	s := newService(t)
 	_, proj := createSimProject(t, s, 60)
-	if err := s.StartSimulation(proj); err != nil {
+	if err := s.StartSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WaitSimulation(proj); err != nil {
+	if err := s.WaitSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	st, err := s.ResourceDetail(proj, "r0000")
+	st, err := s.ResourceDetail(context.Background(), proj, "r0000")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Posts == 0 && st.Allocated == 0 {
 		t.Errorf("detail empty: %+v", st)
 	}
-	if _, err := s.ResourceDetail(proj, "nope"); err == nil {
+	if _, err := s.ResourceDetail(context.Background(), proj, "nope"); err == nil {
 		t.Error("unknown resource must fail")
 	}
-	if _, err := s.ResourceDetail("ghost-project", "r0000"); err == nil {
+	if _, err := s.ResourceDetail(context.Background(), "ghost-project", "r0000"); err == nil {
 		t.Error("unknown project must fail")
 	}
 }
 
 func TestProjectsListing(t *testing.T) {
 	s := newService(t)
-	provA, _ := s.RegisterProvider("a")
-	provB, _ := s.RegisterProvider("b")
+	provA, _ := s.RegisterProvider(context.Background(), "a")
+	provB, _ := s.RegisterProvider(context.Background(), "b")
 	for i := 0; i < 2; i++ {
-		if _, err := s.CreateProject(ProjectSpec{ProviderID: provA, Budget: 10, Simulate: true, NumResources: 3}); err != nil {
+		if _, err := s.CreateProject(context.Background(), ProjectSpec{ProviderID: provA, Budget: 10, Simulate: true, NumResources: 3}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.CreateProject(ProjectSpec{ProviderID: provB, Budget: 10, Simulate: true, NumResources: 3}); err != nil {
+	if _, err := s.CreateProject(context.Background(), ProjectSpec{ProviderID: provB, Budget: 10, Simulate: true, NumResources: 3}); err != nil {
 		t.Fatal(err)
 	}
-	all, err := s.Projects("")
+	all, err := s.Projects(context.Background(), "")
 	if err != nil || len(all) != 3 {
 		t.Fatalf("all = %d, %v", len(all), err)
 	}
-	mine, err := s.Projects(provA)
+	mine, err := s.Projects(context.Background(), provA)
 	if err != nil || len(mine) != 2 {
 		t.Fatalf("provA = %d, %v", len(mine), err)
 	}

@@ -1,129 +1,241 @@
-// Package server exposes the iTag system over an HTTP JSON API — the
-// scriptable equivalent of the provider and tagger web UIs in the demo
-// (paper Figs. 3–8). Every UI action maps to one endpoint (full
-// request/response reference: docs/API.md):
+// Package server exposes the iTag system over a versioned HTTP JSON API —
+// the scriptable equivalent of the provider and tagger web UIs in the demo
+// (paper Figs. 3–8). The primary surface lives under /api/v1 and is built
+// on the internal/api handler kit: typed handlers, a structured error
+// envelope with machine-readable codes, request IDs, per-route timeouts
+// and metrics. Every UI action maps to one endpoint (full request/response
+// reference: docs/API.md):
 //
-//	GET  /api/healthz                         liveness probe
+//	GET  /api/v1/healthz                         liveness probe
+//	GET  /api/v1/metrics                         in-flight / per-route latency metrics
 //
-//	POST /api/providers                       register provider
-//	POST /api/taggers                         register tagger
-//	GET  /api/users/{id}                      approval rate / earnings
-//	POST /api/providers/{id}/rate             tagger rates a provider
+//	POST /api/v1/providers                       register provider
+//	POST /api/v1/taggers                         register tagger
+//	POST /api/v1/taggers:batch                   register many taggers at once
+//	GET  /api/v1/users/{id}                      approval rate / earnings
+//	POST /api/v1/providers/{id}/rate             tagger rates a provider
 //
-//	GET  /api/projects?provider=ID            main provider screen (Fig. 3)
-//	POST /api/projects                        Add Project (Fig. 4)
-//	GET  /api/projects/{id}                   project row + live stats
-//	POST /api/projects/{id}/start             run with simulated taggers
-//	POST /api/projects/{id}/stop              Stop project
-//	POST /api/projects/{id}/budget            add budget
-//	POST /api/projects/{id}/strategy          switch strategy (Fig. 5)
-//	GET  /api/projects/{id}/series?name=N     quality curve (Fig. 5)
-//	GET  /api/projects/{id}/export            export tagged resources
-//	GET  /api/projects/{id}/resources/{rid}   single resource (Fig. 6)
-//	POST /api/projects/{id}/resources/{rid}/promote|stop|resume
+//	GET  /api/v1/projects?provider=ID            main provider screen (Fig. 3; cursor-paginated)
+//	POST /api/v1/projects                        Add Project (Fig. 4)
+//	GET  /api/v1/projects/{id}                   project row + live stats
+//	POST /api/v1/projects/{id}/start             run with simulated taggers
+//	POST /api/v1/projects/{id}/stop              Stop project
+//	POST /api/v1/projects/{id}/budget            add budget
+//	POST /api/v1/projects/{id}/strategy          switch strategy (Fig. 5)
+//	GET  /api/v1/projects/{id}/series?name=N     quality curve (Fig. 5)
+//	GET  /api/v1/projects/{id}/events            live run telemetry over SSE
+//	GET  /api/v1/projects/{id}/export            export tagged resources (cursor-paginated)
+//	GET  /api/v1/projects/{id}/resources/{rid}   single resource (Fig. 6)
+//	POST /api/v1/projects/{id}/resources/{rid}/promote|stop|resume
 //
-//	POST /api/projects/{id}/tasks             tagger requests a task (Fig. 7)
-//	POST /api/projects/{id}/tasks/{tid}/submit   tagging screen (Fig. 8)
-//	POST /api/projects/{id}/posts/{rid}/{seq}/judge  approve/disapprove
+//	POST /api/v1/projects/{id}/tasks             tagger requests a task (Fig. 7)
+//	POST /api/v1/projects/{id}/tasks:batch       request+submit many tasks in one call
+//	POST /api/v1/projects/{id}/tasks/{tid}/submit   tagging screen (Fig. 8)
+//	POST /api/v1/projects/{id}/posts/{rid}/{seq}/judge  approve/disapprove
+//
+// Every pre-v1 route (/api/providers, /api/projects/..., ...) remains
+// mounted as a thin alias over the same v1 handlers, with the legacy
+// {"error": "<message>"} error body, so existing clients keep working.
 package server
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
-	"fmt"
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
+	"itag/internal/api"
 	"itag/internal/core"
 	"itag/internal/dataset"
 	"itag/internal/store"
 )
 
-// Server is the HTTP frontend over a core.Service.
-type Server struct {
-	svc *core.Service
-	mux *http.ServeMux
-	log *log.Logger
+// statusClientClosedRequest is the nginx convention for "client went away
+// before the response"; net/http has no constant for it.
+const statusClientClosedRequest = 499
+
+// Options tunes a Server beyond the defaults New picks.
+type Options struct {
+	// Logger receives the access log and panic reports; nil for silence.
+	Logger *log.Logger
+	// RouteTimeout bounds every non-streaming route (default 30s; < 0
+	// disables).
+	RouteTimeout time.Duration
 }
 
-// New builds a Server; logger may be nil for silence.
+// Server is the HTTP frontend over a core.Service.
+type Server struct {
+	svc          *core.Service
+	mux          *http.ServeMux
+	kit          *api.Kit
+	metrics      *api.Metrics
+	routeTimeout time.Duration
+	handler      http.Handler
+}
+
+// New builds a Server with default options; logger may be nil for silence.
 func New(svc *core.Service, logger *log.Logger) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger}
+	return NewWith(svc, Options{Logger: logger})
+}
+
+// NewWith builds a Server with explicit options.
+func NewWith(svc *core.Service, opts Options) *Server {
+	if opts.RouteTimeout == 0 {
+		opts.RouteTimeout = 30 * time.Second
+	}
+	s := &Server{
+		svc:          svc,
+		mux:          http.NewServeMux(),
+		metrics:      api.NewMetrics(),
+		routeTimeout: opts.RouteTimeout,
+	}
+	s.kit = &api.Kit{MapError: mapErr, Metrics: s.metrics}
 	s.routes()
+	s.handler = api.Chain(s.mux,
+		api.RequestID,
+		api.AccessLog(opts.Logger),
+		api.Recover(s.kit, opts.Logger),
+	)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.log != nil {
-		s.log.Printf("%s %s", r.Method, r.URL.Path)
+	s.handler.ServeHTTP(w, r)
+}
+
+// Metrics exposes the per-route metrics registry (used by tests and the
+// metrics endpoint).
+func (s *Server) Metrics() *api.Metrics { return s.metrics }
+
+// route mounts a v1 route with metrics tracking and the per-route timeout.
+func (s *Server) route(pattern string, h http.Handler) {
+	if s.routeTimeout > 0 {
+		h = api.Timeout(s.routeTimeout)(h)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.Handle(pattern, s.metrics.Track(pattern, h))
+}
+
+// routeStream mounts a v1 streaming route: metrics, but no timeout (an SSE
+// stream lives as long as the client wants).
+func (s *Server) routeStream(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, s.metrics.Track(pattern, h))
+}
+
+// alias mounts a legacy /api/* route over a v1 handler: same semantics,
+// pre-v1 string error bodies.
+func (s *Server) alias(pattern string, h http.Handler) {
+	h = api.WithLegacy(h)
+	if s.routeTimeout > 0 {
+		h = api.Timeout(s.routeTimeout)(h)
+	}
+	s.mux.Handle(pattern, s.metrics.Track(pattern, h))
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	k := s.kit
+
+	healthz := api.Handle(k, http.StatusOK, func(*http.Request, api.None) (map[string]string, error) {
+		return map[string]string{"status": "ok"}, nil
 	})
-	s.mux.HandleFunc("POST /api/providers", s.handleRegisterProvider)
-	s.mux.HandleFunc("POST /api/taggers", s.handleRegisterTagger)
-	s.mux.HandleFunc("GET /api/users/{id}", s.handleGetUser)
-	s.mux.HandleFunc("POST /api/providers/{id}/rate", s.handleRateProvider)
 
-	s.mux.HandleFunc("GET /api/projects", s.handleListProjects)
-	s.mux.HandleFunc("POST /api/projects", s.handleCreateProject)
-	s.mux.HandleFunc("GET /api/projects/{id}", s.handleGetProject)
-	s.mux.HandleFunc("POST /api/projects/{id}/start", s.handleStartProject)
-	s.mux.HandleFunc("POST /api/projects/{id}/stop", s.handleStopProject)
-	s.mux.HandleFunc("POST /api/projects/{id}/budget", s.handleAddBudget)
-	s.mux.HandleFunc("POST /api/projects/{id}/strategy", s.handleSwitchStrategy)
-	s.mux.HandleFunc("GET /api/projects/{id}/series", s.handleSeries)
-	s.mux.HandleFunc("GET /api/projects/{id}/export", s.handleExport)
-	s.mux.HandleFunc("GET /api/projects/{id}/resources/{rid}", s.handleResourceDetail)
-	s.mux.HandleFunc("POST /api/projects/{id}/resources/{rid}/promote", s.resourceAction((*core.Service).Promote))
-	s.mux.HandleFunc("POST /api/projects/{id}/resources/{rid}/stop", s.resourceAction((*core.Service).StopResource))
-	s.mux.HandleFunc("POST /api/projects/{id}/resources/{rid}/resume", s.resourceAction((*core.Service).ResumeResource))
+	registerProvider := api.Handle(k, http.StatusCreated, s.registerProvider)
+	registerTagger := api.Handle(k, http.StatusCreated, s.registerTagger)
+	getUser := api.Handle(k, http.StatusOK, s.getUser)
+	rateProvider := api.Handle(k, http.StatusOK, s.rateProvider)
 
-	s.mux.HandleFunc("POST /api/projects/{id}/tasks", s.handleRequestTask)
-	s.mux.HandleFunc("POST /api/projects/{id}/tasks/{tid}/submit", s.handleSubmitTask)
-	s.mux.HandleFunc("POST /api/projects/{id}/posts/{rid}/{seq}/judge", s.handleJudgePost)
+	createProject := api.Handle(k, http.StatusCreated, s.createProject)
+	getProject := api.Handle(k, http.StatusOK, s.getProject)
+	startProject := api.Handle(k, http.StatusAccepted, s.startProject)
+	stopProject := api.Handle(k, http.StatusOK, s.stopProject)
+	addBudget := api.Handle(k, http.StatusOK, s.addBudget)
+	switchStrategy := api.Handle(k, http.StatusOK, s.switchStrategy)
+	series := api.Handle(k, http.StatusOK, s.series)
+	resourceDetail := api.Handle(k, http.StatusOK, s.resourceDetail)
+	promote := s.resourceAction((*core.Service).Promote)
+	stopRes := s.resourceAction((*core.Service).StopResource)
+	resumeRes := s.resourceAction((*core.Service).ResumeResource)
+
+	requestTask := api.Handle(k, http.StatusCreated, s.requestTask)
+	submitTask := api.Handle(k, http.StatusOK, s.submitTask)
+	judgePost := api.Handle(k, http.StatusOK, s.judgePost)
+
+	// --- v1 ---------------------------------------------------------------
+	s.route("GET /api/v1/healthz", healthz)
+	s.route("GET /api/v1/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, s.metrics.Snapshot())
+	}))
+
+	s.route("POST /api/v1/providers", registerProvider)
+	s.route("POST /api/v1/taggers", registerTagger)
+	s.route("POST /api/v1/taggers:batch", api.Handle(k, http.StatusOK, s.batchRegisterTaggers))
+	s.route("GET /api/v1/users/{id}", getUser)
+	s.route("POST /api/v1/providers/{id}/rate", rateProvider)
+
+	s.route("GET /api/v1/projects", api.Handle(k, http.StatusOK, s.listProjectsV1))
+	s.route("POST /api/v1/projects", createProject)
+	s.route("GET /api/v1/projects/{id}", getProject)
+	s.route("POST /api/v1/projects/{id}/start", startProject)
+	s.route("POST /api/v1/projects/{id}/stop", stopProject)
+	s.route("POST /api/v1/projects/{id}/budget", addBudget)
+	s.route("POST /api/v1/projects/{id}/strategy", switchStrategy)
+	s.route("GET /api/v1/projects/{id}/series", series)
+	s.route("GET /api/v1/projects/{id}/export", api.Handle(k, http.StatusOK, s.exportV1))
+	s.routeStream("GET /api/v1/projects/{id}/events", http.HandlerFunc(s.handleEvents))
+	s.route("GET /api/v1/projects/{id}/resources/{rid}", resourceDetail)
+	s.route("POST /api/v1/projects/{id}/resources/{rid}/promote", promote)
+	s.route("POST /api/v1/projects/{id}/resources/{rid}/stop", stopRes)
+	s.route("POST /api/v1/projects/{id}/resources/{rid}/resume", resumeRes)
+
+	s.route("POST /api/v1/projects/{id}/tasks", requestTask)
+	s.route("POST /api/v1/projects/{id}/tasks:batch", api.Handle(k, http.StatusOK, s.batchTasks))
+	s.route("POST /api/v1/projects/{id}/tasks/{tid}/submit", submitTask)
+	s.route("POST /api/v1/projects/{id}/posts/{rid}/{seq}/judge", judgePost)
+
+	// --- legacy aliases (pre-v1 surface; see docs/API.md appendix) --------
+	s.alias("GET /api/healthz", healthz)
+	s.alias("POST /api/providers", registerProvider)
+	s.alias("POST /api/taggers", registerTagger)
+	s.alias("GET /api/users/{id}", getUser)
+	s.alias("POST /api/providers/{id}/rate", rateProvider)
+
+	s.alias("GET /api/projects", api.Handle(k, http.StatusOK, s.listProjectsLegacy))
+	s.alias("POST /api/projects", createProject)
+	s.alias("GET /api/projects/{id}", getProject)
+	s.alias("POST /api/projects/{id}/start", startProject)
+	s.alias("POST /api/projects/{id}/stop", stopProject)
+	s.alias("POST /api/projects/{id}/budget", addBudget)
+	s.alias("POST /api/projects/{id}/strategy", switchStrategy)
+	s.alias("GET /api/projects/{id}/series", series)
+	s.alias("GET /api/projects/{id}/export", api.Handle(k, http.StatusOK, s.exportLegacy))
+	s.alias("GET /api/projects/{id}/resources/{rid}", resourceDetail)
+	s.alias("POST /api/projects/{id}/resources/{rid}/promote", promote)
+	s.alias("POST /api/projects/{id}/resources/{rid}/stop", stopRes)
+	s.alias("POST /api/projects/{id}/resources/{rid}/resume", resumeRes)
+
+	s.alias("POST /api/projects/{id}/tasks", requestTask)
+	s.alias("POST /api/projects/{id}/tasks/{tid}/submit", submitTask)
+	s.alias("POST /api/projects/{id}/posts/{rid}/{seq}/judge", judgePost)
 }
 
-// --- helpers -------------------------------------------------------------------
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
-}
-
-func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("invalid request body: %w", err)
-	}
-	return nil
-}
-
-// statusFor maps service errors to HTTP statuses.
-func statusFor(err error) int {
+// mapErr translates service sentinels into transport errors with
+// machine-readable codes (documented in docs/API.md).
+func mapErr(err error) *api.Error {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
-		return http.StatusNotFound
+		return api.Wrap(http.StatusNotFound, api.CodeNotFound, err)
 	case errors.Is(err, core.ErrProjectRunning):
-		return http.StatusConflict
+		return api.Wrap(http.StatusConflict, api.CodeProjectRunning, err)
+	case errors.Is(err, core.ErrInvalidRole):
+		return api.Wrap(http.StatusBadRequest, api.CodeInvalidRole, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.Wrap(http.StatusGatewayTimeout, api.CodeTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return api.Wrap(statusClientClosedRequest, api.CodeCanceled, err)
 	default:
-		return http.StatusBadRequest
+		return api.Wrap(http.StatusBadRequest, api.CodeInvalidArgument, err)
 	}
 }
 
@@ -137,32 +249,20 @@ type registerResp struct {
 	ID string `json:"id"`
 }
 
-func (s *Server) handleRegisterProvider(w http.ResponseWriter, r *http.Request) {
-	var req registerReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	id, err := s.svc.RegisterProvider(req.Name)
+func (s *Server) registerProvider(r *http.Request, req registerReq) (registerResp, error) {
+	id, err := s.svc.RegisterProvider(r.Context(), req.Name)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+		return registerResp{}, err
 	}
-	writeJSON(w, http.StatusCreated, registerResp{ID: id})
+	return registerResp{ID: id}, nil
 }
 
-func (s *Server) handleRegisterTagger(w http.ResponseWriter, r *http.Request) {
-	var req registerReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	id, err := s.svc.RegisterTagger(req.Name)
+func (s *Server) registerTagger(r *http.Request, req registerReq) (registerResp, error) {
+	id, err := s.svc.RegisterTagger(r.Context(), req.Name)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+		return registerResp{}, err
 	}
-	writeJSON(w, http.StatusCreated, registerResp{ID: id})
+	return registerResp{ID: id}, nil
 }
 
 type userResp struct {
@@ -171,12 +271,11 @@ type userResp struct {
 	Earned       float64 `json:"earned_total"`
 }
 
-func (s *Server) handleGetUser(w http.ResponseWriter, r *http.Request) {
+func (s *Server) getUser(r *http.Request, _ api.None) (userResp, error) {
 	id := r.PathValue("id")
 	rec, err := s.svc.Catalog().GetUser(id)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+		return userResp{}, err
 	}
 	resp := userResp{UserRec: rec}
 	if rec.Role == store.RoleTagger {
@@ -185,26 +284,18 @@ func (s *Server) handleGetUser(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.ApprovalRate = s.svc.Users().ProviderApprovalRate(id)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 type rateReq struct {
 	Positive bool `json:"positive"`
 }
 
-func (s *Server) handleRateProvider(w http.ResponseWriter, r *http.Request) {
-	var req rateReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+func (s *Server) rateProvider(r *http.Request, req rateReq) (map[string]bool, error) {
+	if err := s.svc.RateProvider(r.Context(), r.PathValue("id"), req.Positive); err != nil {
+		return nil, err
 	}
-	id := r.PathValue("id")
-	if _, err := s.svc.Catalog().GetUser(id); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	s.svc.RateProvider(id, req.Positive)
-	writeJSON(w, http.StatusOK, map[string]bool{"recorded": true})
+	return map[string]bool{"recorded": true}, nil
 }
 
 // --- projects -----------------------------------------------------------------
@@ -231,12 +322,7 @@ type UploadedResource struct {
 	Name string `json:"name"`
 }
 
-func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
-	var req CreateProjectReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
+func (s *Server) createProject(r *http.Request, req CreateProjectReq) (registerResp, error) {
 	spec := core.ProjectSpec{
 		ProviderID: req.ProviderID, Name: req.Name, Description: req.Description,
 		Kind: req.Kind, Budget: req.Budget, PayPerTask: req.PayPerTask,
@@ -248,80 +334,55 @@ func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
 			ID: ur.ID, Kind: dataset.Kind(ur.Kind), Name: ur.Name, Popularity: 1,
 		})
 	}
-	id, err := s.svc.CreateProject(spec)
+	id, err := s.svc.CreateProject(r.Context(), spec)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+		return registerResp{}, err
 	}
-	writeJSON(w, http.StatusCreated, registerResp{ID: id})
+	return registerResp{ID: id}, nil
 }
 
-func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
-	infos, err := s.svc.Projects(r.URL.Query().Get("provider"))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, infos)
+func (s *Server) listProjectsLegacy(r *http.Request, _ api.None) ([]core.ProjectInfo, error) {
+	return s.svc.Projects(r.Context(), r.URL.Query().Get("provider"))
 }
 
-func (s *Server) handleGetProject(w http.ResponseWriter, r *http.Request) {
-	info, err := s.svc.Project(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
+func (s *Server) getProject(r *http.Request, _ api.None) (core.ProjectInfo, error) {
+	return s.svc.Project(r.Context(), r.PathValue("id"))
 }
 
-func (s *Server) handleStartProject(w http.ResponseWriter, r *http.Request) {
-	if err := s.svc.StartSimulation(r.PathValue("id")); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+func (s *Server) startProject(r *http.Request, _ api.None) (map[string]bool, error) {
+	if err := s.svc.StartSimulation(r.Context(), r.PathValue("id")); err != nil {
+		return nil, err
 	}
-	writeJSON(w, http.StatusAccepted, map[string]bool{"started": true})
+	return map[string]bool{"started": true}, nil
 }
 
-func (s *Server) handleStopProject(w http.ResponseWriter, r *http.Request) {
-	if err := s.svc.StopProject(r.PathValue("id")); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+func (s *Server) stopProject(r *http.Request, _ api.None) (map[string]bool, error) {
+	if err := s.svc.StopProject(r.Context(), r.PathValue("id")); err != nil {
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"stopped": true})
+	return map[string]bool{"stopped": true}, nil
 }
 
 type budgetReq struct {
 	Extra int `json:"extra"`
 }
 
-func (s *Server) handleAddBudget(w http.ResponseWriter, r *http.Request) {
-	var req budgetReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+func (s *Server) addBudget(r *http.Request, req budgetReq) (map[string]bool, error) {
+	if err := s.svc.AddBudget(r.Context(), r.PathValue("id"), req.Extra); err != nil {
+		return nil, err
 	}
-	if err := s.svc.AddBudget(r.PathValue("id"), req.Extra); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"added": true})
+	return map[string]bool{"added": true}, nil
 }
 
 type strategyReq struct {
 	Strategy string `json:"strategy"`
 }
 
-func (s *Server) handleSwitchStrategy(w http.ResponseWriter, r *http.Request) {
-	var req strategyReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+func (s *Server) switchStrategy(r *http.Request, req strategyReq) (map[string]bool, error) {
+	if err := s.svc.SwitchStrategy(r.Context(), r.PathValue("id"), req.Strategy); err != nil {
+		return nil, err
 	}
-	if err := s.svc.SwitchStrategy(r.PathValue("id"), req.Strategy); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"switched": true})
+	return map[string]bool{"switched": true}, nil
 }
 
 type seriesResp struct {
@@ -330,45 +391,33 @@ type seriesResp struct {
 	Y    []float64 `json:"y"`
 }
 
-func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+func (s *Server) series(r *http.Request, _ api.None) (seriesResp, error) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		name = core.SeriesMeanStability
 	}
-	xs, ys, err := s.svc.QualitySeries(r.PathValue("id"), name)
+	xs, ys, err := s.svc.QualitySeries(r.Context(), r.PathValue("id"), name)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+		return seriesResp{}, err
 	}
-	writeJSON(w, http.StatusOK, seriesResp{Name: name, X: xs, Y: ys})
+	return seriesResp{Name: name, X: xs, Y: ys}, nil
 }
 
-func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	rows, err := s.svc.Export(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, rows)
+func (s *Server) exportLegacy(r *http.Request, _ api.None) ([]core.ExportedResource, error) {
+	return s.svc.Export(r.Context(), r.PathValue("id"))
 }
 
-func (s *Server) handleResourceDetail(w http.ResponseWriter, r *http.Request) {
-	st, err := s.svc.ResourceDetail(r.PathValue("id"), r.PathValue("rid"))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
+func (s *Server) resourceDetail(r *http.Request, _ api.None) (core.ResourceStatus, error) {
+	return s.svc.ResourceDetail(r.Context(), r.PathValue("id"), r.PathValue("rid"))
 }
 
-func (s *Server) resourceAction(action func(*core.Service, string, string) error) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if err := action(s.svc, r.PathValue("id"), r.PathValue("rid")); err != nil {
-			writeErr(w, statusFor(err), err)
-			return
+func (s *Server) resourceAction(action func(*core.Service, context.Context, string, string) error) http.HandlerFunc {
+	return api.Handle(s.kit, http.StatusOK, func(r *http.Request, _ api.None) (map[string]bool, error) {
+		if err := action(s.svc, r.Context(), r.PathValue("id"), r.PathValue("rid")); err != nil {
+			return nil, err
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	}
+		return map[string]bool{"ok": true}, nil
+	})
 }
 
 // --- tagger flow ----------------------------------------------------------------
@@ -377,55 +426,47 @@ type requestTaskReq struct {
 	TaggerID string `json:"tagger_id"`
 }
 
-func (s *Server) handleRequestTask(w http.ResponseWriter, r *http.Request) {
-	var req requestTaskReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	task, err := s.svc.RequestTask(r.PathValue("id"), req.TaggerID)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, task)
+func (s *Server) requestTask(r *http.Request, req requestTaskReq) (store.TaskRec, error) {
+	return s.svc.RequestTask(r.Context(), r.PathValue("id"), req.TaggerID)
 }
 
 type submitTaskReq struct {
 	Tags []string `json:"tags"`
 }
 
-func (s *Server) handleSubmitTask(w http.ResponseWriter, r *http.Request) {
-	var req submitTaskReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+func (s *Server) submitTask(r *http.Request, req submitTaskReq) (map[string]bool, error) {
+	if err := s.svc.SubmitTask(r.Context(), r.PathValue("id"), r.PathValue("tid"), req.Tags); err != nil {
+		return nil, err
 	}
-	if err := s.svc.SubmitTask(r.PathValue("id"), r.PathValue("tid"), req.Tags); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"submitted": true})
+	return map[string]bool{"submitted": true}, nil
 }
 
 type judgeReq struct {
 	Approved bool `json:"approved"`
 }
 
-func (s *Server) handleJudgePost(w http.ResponseWriter, r *http.Request) {
-	var req judgeReq
-	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
+func (s *Server) judgePost(r *http.Request, req judgeReq) (map[string]bool, error) {
 	seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid post sequence: %w", err))
-		return
+		return nil, api.Errorf(http.StatusBadRequest, api.CodeInvalidArgument,
+			"invalid post sequence: %v", err)
 	}
-	if err := s.svc.JudgePost(r.PathValue("id"), r.PathValue("rid"), seq, req.Approved); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+	if err := s.svc.JudgePost(r.Context(), r.PathValue("id"), r.PathValue("rid"), seq, req.Approved); err != nil {
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"judged": true})
+	return map[string]bool{"judged": true}, nil
+}
+
+// parsePageParams reads ?limit= and ?cursor= (limit 0 = everything).
+func parsePageParams(r *http.Request) (limit int, cursor string, err error) {
+	q := r.URL.Query()
+	cursor = q.Get("cursor")
+	if raw := q.Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 0 {
+			return 0, "", api.Errorf(http.StatusBadRequest, api.CodeInvalidArgument,
+				"invalid limit %q", raw)
+		}
+	}
+	return limit, cursor, nil
 }

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"itag/internal/api"
+	"itag/internal/core"
+)
+
+// This file holds the v1-only endpoints: cursor pagination, the batch
+// write paths, and the SSE telemetry stream. The shared CRUD handlers live
+// in server.go and are mounted on both the v1 and legacy route tables.
+
+// maxBatchItems caps one batch call; bigger fleets split into multiple
+// calls client-side.
+const maxBatchItems = 10000
+
+// itemError is the per-item error report inside batch responses — same
+// code vocabulary as the top-level envelope.
+type itemError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func toItemError(err error) *itemError {
+	ae := mapErr(err)
+	if inner := api.AsError(err); inner != nil {
+		ae = inner
+	}
+	return &itemError{Code: ae.Code, Message: ae.Message}
+}
+
+// --- paginated listings ---------------------------------------------------------
+
+type projectsPage struct {
+	Items      []core.ProjectInfo `json:"items"`
+	NextCursor string             `json:"next_cursor,omitempty"`
+}
+
+func (s *Server) listProjectsV1(r *http.Request, _ api.None) (projectsPage, error) {
+	limit, cursor, err := parsePageParams(r)
+	if err != nil {
+		return projectsPage{}, err
+	}
+	items, next, err := s.svc.ProjectsPage(r.Context(), r.URL.Query().Get("provider"), cursor, limit)
+	if err != nil {
+		return projectsPage{}, err
+	}
+	return projectsPage{Items: items, NextCursor: next}, nil
+}
+
+type exportPage struct {
+	Items      []core.ExportedResource `json:"items"`
+	NextCursor string                  `json:"next_cursor,omitempty"`
+}
+
+func (s *Server) exportV1(r *http.Request, _ api.None) (exportPage, error) {
+	limit, cursor, err := parsePageParams(r)
+	if err != nil {
+		return exportPage{}, err
+	}
+	items, next, err := s.svc.ExportPage(r.Context(), r.PathValue("id"), cursor, limit)
+	if err != nil {
+		return exportPage{}, err
+	}
+	return exportPage{Items: items, NextCursor: next}, nil
+}
+
+// --- batch registration ---------------------------------------------------------
+
+type batchNamesReq struct {
+	Names []string `json:"names"`
+}
+
+type batchRegisterResult struct {
+	ID    string     `json:"id,omitempty"`
+	Error *itemError `json:"error,omitempty"`
+}
+
+type batchRegisterResp struct {
+	Results []batchRegisterResult `json:"results"`
+	OK      int                   `json:"ok"`
+	Failed  int                   `json:"failed"`
+}
+
+// batchRegisterTaggers registers many taggers in one round-trip — the
+// onboarding path for a fleet of simulated taggers.
+func (s *Server) batchRegisterTaggers(r *http.Request, req batchNamesReq) (batchRegisterResp, error) {
+	if len(req.Names) == 0 {
+		return batchRegisterResp{}, api.Errorf(http.StatusBadRequest, api.CodeInvalidArgument,
+			"names required")
+	}
+	if len(req.Names) > maxBatchItems {
+		return batchRegisterResp{}, api.Errorf(http.StatusRequestEntityTooLarge, api.CodeBatchTooLarge,
+			"%d names exceeds the %d per-call cap", len(req.Names), maxBatchItems)
+	}
+	resp := batchRegisterResp{Results: make([]batchRegisterResult, 0, len(req.Names))}
+	for _, name := range req.Names {
+		if err := r.Context().Err(); err != nil {
+			return batchRegisterResp{}, err
+		}
+		id, err := s.svc.RegisterTagger(r.Context(), name)
+		if err != nil {
+			resp.Results = append(resp.Results, batchRegisterResult{Error: toItemError(err)})
+			resp.Failed++
+			continue
+		}
+		resp.Results = append(resp.Results, batchRegisterResult{ID: id})
+		resp.OK++
+	}
+	return resp, nil
+}
+
+// --- batch tasks ----------------------------------------------------------------
+
+// BatchTaskItem is one request(+submit) pair in a tasks:batch call. Tags
+// empty = request only (the task stays assigned for a later submit).
+type BatchTaskItem struct {
+	TaggerID string   `json:"tagger_id"`
+	Tags     []string `json:"tags,omitempty"`
+}
+
+type batchTasksReq struct {
+	Items []BatchTaskItem `json:"items"`
+}
+
+type batchTaskResult struct {
+	TaskID     string     `json:"task_id,omitempty"`
+	ResourceID string     `json:"resource_id,omitempty"`
+	Submitted  bool       `json:"submitted,omitempty"`
+	Error      *itemError `json:"error,omitempty"`
+}
+
+type batchTasksResp struct {
+	Results []batchTaskResult `json:"results"`
+	OK      int               `json:"ok"`
+	Failed  int               `json:"failed"`
+}
+
+// batchTasks executes many request+submit pairs in one round-trip: the
+// high-fanout write path a fleet of concurrent taggers needs (one HTTP
+// exchange instead of two per task). Items fail independently; the call
+// itself only fails on malformed input or cancellation.
+func (s *Server) batchTasks(r *http.Request, req batchTasksReq) (batchTasksResp, error) {
+	if len(req.Items) == 0 {
+		return batchTasksResp{}, api.Errorf(http.StatusBadRequest, api.CodeInvalidArgument,
+			"items required")
+	}
+	if len(req.Items) > maxBatchItems {
+		return batchTasksResp{}, api.Errorf(http.StatusRequestEntityTooLarge, api.CodeBatchTooLarge,
+			"%d items exceeds the %d per-call cap", len(req.Items), maxBatchItems)
+	}
+	projectID := r.PathValue("id")
+	resp := batchTasksResp{Results: make([]batchTaskResult, 0, len(req.Items))}
+	for _, item := range req.Items {
+		if err := r.Context().Err(); err != nil {
+			return batchTasksResp{}, err
+		}
+		res := s.runBatchItem(r, projectID, item)
+		if res.Error != nil {
+			resp.Failed++
+		} else {
+			resp.OK++
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	return resp, nil
+}
+
+func (s *Server) runBatchItem(r *http.Request, projectID string, item BatchTaskItem) batchTaskResult {
+	task, err := s.svc.RequestTask(r.Context(), projectID, item.TaggerID)
+	if err != nil {
+		return batchTaskResult{Error: toItemError(err)}
+	}
+	res := batchTaskResult{TaskID: task.ID, ResourceID: task.ResourceID}
+	if len(item.Tags) == 0 {
+		return res // request-only item; the task stays assigned
+	}
+	if err := s.svc.SubmitTask(r.Context(), projectID, task.ID, item.Tags); err != nil {
+		res.Error = toItemError(err)
+		return res
+	}
+	res.Submitted = true
+	return res
+}
+
+// --- SSE telemetry stream -------------------------------------------------------
+
+// sseHeartbeat keeps idle streams alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+// handleEvents streams a project's live run telemetry as Server-Sent
+// Events, fed by the Monitor's subscriber fan-out (no polling):
+//
+//	event: hello     {"project_id": ..., "running": true, "spent": 12}
+//	event: tick      {"series": "mean_stability", "x": 16, "y": 0.55}
+//	event: run-event {"at": ..., "spent": 16, "kind": "promote", "detail": ...}
+//	event: dropped   {"count": 3}          — this subscriber fell behind
+//	event: finished  {"spent": 80, "error": ""}   — stream ends
+//
+// The stream ends at the finished event, on client disconnect, or on
+// server drain.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	projectID := r.PathValue("id")
+	info, err := s.svc.Project(r.Context(), projectID)
+	if err != nil {
+		s.kit.WriteError(w, r, err)
+		return
+	}
+	sub, err := s.svc.Subscribe(r.Context(), projectID, 512)
+	if err != nil {
+		s.kit.WriteError(w, r, err)
+		return
+	}
+	defer sub.Cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.kit.WriteError(w, r, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+			"response writer does not support streaming"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// An SSE stream outlives the http.Server's WriteTimeout by design.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	if !writeEvent("hello", map[string]any{
+		"project_id": projectID, "running": info.Running, "spent": info.Spent,
+	}) {
+		return
+	}
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	var reported int64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case n, open := <-sub.C:
+			if !open {
+				return
+			}
+			if d := sub.Dropped(); d > reported {
+				if !writeEvent("dropped", map[string]int64{"count": d - reported}) {
+					return
+				}
+				reported = d
+			}
+			switch n.Type {
+			case core.NotifyTick:
+				if !writeEvent("tick", map[string]any{"series": n.Series, "x": n.X, "y": n.Y}) {
+					return
+				}
+			case core.NotifyEvent:
+				if !writeEvent("run-event", n.Event) {
+					return
+				}
+			case core.NotifyFinished:
+				writeEvent("finished", map[string]any{"spent": n.Spent, "error": n.Err})
+				return
+			}
+		}
+	}
+}

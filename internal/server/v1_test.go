@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"itag/internal/api"
+	"itag/internal/core"
+	"itag/internal/store"
+)
+
+// newV1Client is newClient plus service cleanup (background runs are
+// interrupted at test end instead of leaking).
+func newV1Client(t *testing.T) *client {
+	t.Helper()
+	svc := core.NewService(store.NewCatalog(store.OpenMemory()), 99)
+	srv := httptest.NewServer(New(svc, nil))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return &client{t: t, srv: srv}
+}
+
+func TestV1HealthzAndAliasParity(t *testing.T) {
+	c := newV1Client(t)
+	var v1, legacy map[string]string
+	c.do("GET", "/api/v1/healthz", nil, http.StatusOK, &v1)
+	c.do("GET", "/api/healthz", nil, http.StatusOK, &legacy)
+	if v1["status"] != "ok" || legacy["status"] != "ok" {
+		t.Errorf("healthz: v1=%v legacy=%v", v1, legacy)
+	}
+}
+
+func TestV1BatchRegisterTaggers(t *testing.T) {
+	c := newV1Client(t)
+	var resp batchRegisterResp
+	c.do("POST", "/api/v1/taggers:batch",
+		map[string][]string{"names": {"a", "b", "c"}}, http.StatusOK, &resp)
+	if resp.OK != 3 || resp.Failed != 0 || len(resp.Results) != 3 {
+		t.Fatalf("batch = %+v", resp)
+	}
+	for _, res := range resp.Results {
+		var u userResp
+		c.do("GET", "/api/v1/users/"+res.ID, nil, http.StatusOK, &u)
+		if u.Role != store.RoleTagger {
+			t.Errorf("registered user = %+v", u)
+		}
+	}
+	// Empty and oversized batches are rejected whole.
+	c.do("POST", "/api/v1/taggers:batch", map[string][]string{"names": {}}, http.StatusBadRequest, nil)
+	big := make([]string, maxBatchItems+1)
+	c.do("POST", "/api/v1/taggers:batch", map[string][]string{"names": big},
+		http.StatusRequestEntityTooLarge, nil)
+}
+
+func TestV1BatchTasksPerItemErrors(t *testing.T) {
+	c := newV1Client(t)
+	prov := c.register("providers", "p")
+	tagr := c.register("taggers", "t")
+	var created registerResp
+	c.do("POST", "/api/v1/projects", CreateProjectReq{
+		ProviderID: prov, Name: "m", Budget: 3, PayPerTask: 0.1,
+		Resources: []UploadedResource{
+			{ID: "u1", Kind: "url", Name: "a"},
+			{ID: "u2", Kind: "url", Name: "b"},
+		},
+	}, http.StatusCreated, &created)
+	proj := created.ID
+
+	var resp batchTasksResp
+	c.do("POST", "/api/v1/projects/"+proj+"/tasks:batch", map[string]any{
+		"items": []map[string]any{
+			{"tagger_id": tagr, "tags": []string{"go"}},
+			{"tagger_id": "ghost", "tags": []string{"x"}}, // unknown tagger
+			{"tagger_id": tagr},                           // request-only
+			{"tagger_id": tagr, "tags": []string{"db"}},   // ok
+			{"tagger_id": tagr, "tags": []string{"too"}},  // budget exhausted
+		},
+	}, http.StatusOK, &resp)
+
+	if resp.OK != 3 || resp.Failed != 2 {
+		t.Fatalf("batch = ok %d failed %d (%+v)", resp.OK, resp.Failed, resp.Results)
+	}
+	if r := resp.Results[0]; !r.Submitted || r.TaskID == "" {
+		t.Errorf("item 0 = %+v", r)
+	}
+	if r := resp.Results[1]; r.Error == nil || r.Error.Code != api.CodeInvalidArgument {
+		t.Errorf("item 1 = %+v", r)
+	}
+	if r := resp.Results[2]; r.Submitted || r.TaskID == "" || r.Error != nil {
+		t.Errorf("request-only item = %+v", r)
+	}
+	if r := resp.Results[4]; r.Error == nil {
+		t.Errorf("post-budget item = %+v", r)
+	}
+}
+
+func TestV1MetricsEndpoint(t *testing.T) {
+	c := newV1Client(t)
+	var created registerResp
+	c.do("POST", "/api/v1/providers", registerReq{Name: "p"}, http.StatusCreated, &created)
+	var snap api.Snapshot
+	c.do("GET", "/api/v1/metrics", nil, http.StatusOK, &snap)
+	if snap.TotalRequests == 0 {
+		t.Fatalf("metrics = %+v", snap)
+	}
+	found := false
+	for _, r := range snap.Routes {
+		if r.Route == "POST /api/v1/providers" && r.Count == 1 && r.Status2xx == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("provider route not tracked: %+v", snap.Routes)
+	}
+}
+
+func TestV1RequestIDPropagation(t *testing.T) {
+	c := newV1Client(t)
+	req, err := http.NewRequest("GET", c.srv.URL+"/api/v1/users/ghost", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "load-test-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "load-test-7" {
+		t.Errorf("echoed request id = %q", got)
+	}
+	buf := new(strings.Builder)
+	if _, err := bufio.NewReader(resp.Body).WriteTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"request_id":"load-test-7"`) {
+		t.Errorf("envelope missing request id: %s", buf)
+	}
+}
+
+// TestV1EventsStreamDuringRun asserts the ISSUE acceptance bar at the
+// HTTP layer: the SSE endpoint streams at least quality-tick and finished
+// events while a simulated run executes.
+func TestV1EventsStreamDuringRun(t *testing.T) {
+	c := newV1Client(t)
+	prov := c.register("providers", "p")
+	proj := c.createSimProject(prov, 60)
+
+	resp, err := http.Get(c.srv.URL + "/api/v1/projects/" + proj + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	c.do("POST", "/api/v1/projects/"+proj+"/start", nil, http.StatusAccepted, nil)
+
+	types := map[string]int{}
+	deadline := time.After(30 * time.Second)
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+scan:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			if strings.HasPrefix(line, "event: ") {
+				ev := strings.TrimPrefix(line, "event: ")
+				types[ev]++
+				if ev == "finished" {
+					break scan
+				}
+			}
+		case <-deadline:
+			t.Fatalf("no finished event; saw %v", types)
+		}
+	}
+	if types["hello"] != 1 || types["tick"] == 0 || types["finished"] != 1 {
+		t.Errorf("event mix = %v", types)
+	}
+	if types["dropped"] != 0 {
+		t.Errorf("dropped events on a tiny run: %v", types)
+	}
+}

@@ -1,6 +1,7 @@
 package itag_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -145,23 +146,23 @@ func TestFacadeReplayFlow(t *testing.T) {
 
 func TestFacadeServiceAndStore(t *testing.T) {
 	svc := itag.NewService(itag.NewCatalog(itag.OpenMemoryStore()), 14)
-	prov, err := svc.RegisterProvider("alice")
+	prov, err := svc.RegisterProvider(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	proj, err := svc.CreateProject(itag.ProjectSpec{
+	proj, err := svc.CreateProject(context.Background(), itag.ProjectSpec{
 		ProviderID: prov, Budget: 50, Simulate: true, NumResources: 8,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.StartSimulation(proj); err != nil {
+	if err := svc.StartSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.WaitSimulation(proj); err != nil {
+	if err := svc.WaitSimulation(context.Background(), proj); err != nil {
 		t.Fatal(err)
 	}
-	info, err := svc.Project(proj)
+	info, err := svc.Project(context.Background(), proj)
 	if err != nil || info.Spent != 50 {
 		t.Errorf("info: %+v, %v", info, err)
 	}
