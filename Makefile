@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check loadgen bench bench-experiments bench-contention clean
+.PHONY: all build test vet race fuzz check loadgen bench bench-experiments bench-contention clean
 
 all: check
 
@@ -16,6 +16,12 @@ vet:
 # Concurrent store stress under the race detector (PR acceptance gate).
 race:
 	$(GO) test -race ./internal/store/... ./internal/core/...
+
+# Short fuzz smoke over WAL recovery: corrupted segments and snapshots must
+# never panic or resurrect deleted keys (CI runs the same budget).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRecovery$$' -fuzztime 10s ./internal/store
 
 # The tier-1 verify plus vet — what CI runs.
 check: vet build test

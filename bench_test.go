@@ -10,6 +10,7 @@ package itag_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -150,6 +151,33 @@ func BenchmarkS3_StoreContention(b *testing.B) { runExperiment(b, bench.S3StoreC
 // BenchmarkS4_ProjectFleet — systems: a fleet of simulated projects driven
 // serially vs through the core.Pool worker pipeline.
 func BenchmarkS4_ProjectFleet(b *testing.B) { runExperiment(b, bench.S4ProjectFleet) }
+
+// BenchmarkS5_StoreGroupCommit — systems: sustained durable write
+// throughput under concurrent committers, the group-commit WAL writer vs
+// the per-record-fsync baseline. The result table is recorded to
+// BENCH_store.json; the 64-committer group-commit row must be >= 2x the
+// baseline (the gate fails the benchmark).
+func BenchmarkS5_StoreGroupCommit(b *testing.B) {
+	sz := sizes(b)
+	var res bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.S5StoreGroupCommit(sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := res.WriteJSONFile("BENCH_store.json"); err != nil {
+		b.Errorf("write BENCH_store.json: %v", err)
+	}
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "GATE FAILED") {
+			b.Error(n)
+		}
+	}
+	b.Log("\n" + res.Text())
+}
 
 // BenchmarkS2_EngineThroughput — systems: end-to-end tasks/second through
 // engine + platform simulator + quality tracking.

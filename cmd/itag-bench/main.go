@@ -7,9 +7,9 @@
 //	itag-bench -experiment e1 -n 200 -budget 2000
 //	itag-bench -experiment e3 -format markdown -out e3.md
 //
-// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s4 (systems
-// contention: store shards × concurrent taggers, project-fleet pool), all.
-// See the experiment index in docs/ARCHITECTURE.md.
+// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s5 (systems:
+// store contention across shards, project-fleet pool, group-commit WAL
+// durability), all. See the experiment index in docs/ARCHITECTURE.md.
 package main
 
 import (
@@ -36,12 +36,13 @@ var experiments = map[string]func(bench.Sizes) (bench.Result, error){
 	"a3": bench.A3BatchSize,
 	"s3": bench.S3StoreContention,
 	"s4": bench.S4ProjectFleet,
+	"s5": bench.S5StoreGroupCommit,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5"}
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s4, all)")
+	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s5, all)")
 	n := flag.Int("n", 0, "number of resources (0 = default)")
 	budget := flag.Int("budget", 0, "task budget (0 = default)")
 	taggers := flag.Int("taggers", 0, "tagger pool size (0 = default)")

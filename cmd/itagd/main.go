@@ -6,13 +6,24 @@
 // Usage:
 //
 //	itagd [-addr :8080] [-db itag.wal] [-shards 1] [-seed 42]
+//	      [-sync-every 1] [-group-commit 0] [-segment-bytes 4194304]
+//	      [-auto-compact 67108864]
 //	      [-write-timeout 60s] [-route-timeout 30s] [-grace 30s]
 //
 // With -db "" the store is in-memory (state lost on exit). With -shards N
 // (N > 1) the store is hash-partitioned across N locks; -db then names a
-// directory of per-shard WALs instead of a single file. See
-// internal/server for the endpoint reference and docs/ARCHITECTURE.md for
-// the sharding design.
+// directory of per-shard WAL layouts (shard-NNN.wal plus its snapshot and
+// segment files) instead of a single layout. See internal/server for the
+// endpoint reference and docs/ARCHITECTURE.md for the sharding and
+// durability design.
+//
+// Durability knobs: -sync-every N fsyncs after every N committed records
+// (the group-commit writer folds concurrent commits into one fsync, so the
+// default of 1 is affordable under load); -group-commit sets the optional
+// coalescing window (0 = natural batching, negative = synchronous
+// per-record appends); -segment-bytes bounds WAL segment size before
+// rotation; -auto-compact snapshots the store in the background whenever
+// sealed WAL bytes exceed the threshold, keeping recovery time flat.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, waits up to -grace for live simulation runs to drain, ends
@@ -42,6 +53,10 @@ func main() {
 	dbPath := flag.String("db", "itag.wal", "WAL file (or directory with -shards > 1); empty for in-memory")
 	shards := flag.Int("shards", 1, "store shard count (>1 partitions keys across locks)")
 	seed := flag.Int64("seed", 42, "seed for simulated platforms and worlds")
+	syncEvery := flag.Int("sync-every", 1, "fsync the WAL after every N committed records (0 disables fsync)")
+	groupCommit := flag.Duration("group-commit", 0, "group-commit coalescing window (0 = natural batching; negative = synchronous per-record appends)")
+	segmentBytes := flag.Int64("segment-bytes", store.DefaultSegmentBytes, "rotate WAL segments beyond this size (negative disables rotation)")
+	autoCompact := flag.Int64("auto-compact", 64<<20, "background-snapshot the store when sealed WAL bytes exceed this (0 disables)")
 	quiet := flag.Bool("quiet", false, "disable request logging")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
 	routeTimeout := flag.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
@@ -50,6 +65,12 @@ func main() {
 
 	logger := log.New(os.Stderr, "itagd ", log.LstdFlags)
 
+	storeOpts := store.Options{
+		SyncEvery:         *syncEvery,
+		GroupCommitWindow: *groupCommit,
+		SegmentBytes:      *segmentBytes,
+		AutoCompact:       *autoCompact,
+	}
 	var db store.Store
 	switch {
 	case *dbPath == "" && *shards > 1:
@@ -59,18 +80,22 @@ func main() {
 		db = store.OpenMemory()
 		logger.Print("using in-memory store")
 	case *shards > 1:
-		sh, err := store.OpenSharded(*dbPath, *shards, store.Options{SyncEvery: 64})
+		sh, err := store.OpenSharded(*dbPath, *shards, storeOpts)
 		if err != nil {
 			logger.Fatalf("open sharded store: %v", err)
 		}
-		logger.Printf("store: %s (%d shards, %d records)", *dbPath, *shards, sh.Seq())
+		st := sh.Stats()
+		logger.Printf("store: %s (%d shards, seq %d, %d segments, recovered %d records in %.1fms)",
+			*dbPath, *shards, sh.Seq(), st.Segments, st.RecoveredRecords, st.RecoveryMillis)
 		db = sh
 	default:
-		wal, err := store.Open(*dbPath, store.Options{SyncEvery: 64})
+		wal, err := store.Open(*dbPath, storeOpts)
 		if err != nil {
 			logger.Fatalf("open store: %v", err)
 		}
-		logger.Printf("store: %s (%d records)", *dbPath, wal.Seq())
+		st := wal.Stats()
+		logger.Printf("store: %s (seq %d, %d segments, recovered %d records in %.1fms)",
+			*dbPath, wal.Seq(), st.Segments, st.RecoveredRecords, st.RecoveryMillis)
 		db = wal
 	}
 	defer db.Close()

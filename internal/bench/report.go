@@ -1,19 +1,21 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
 // Result is one experiment's report: a table plus free-form notes, rendered
 // identically by go test -bench and cmd/itag-bench.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Markdown renders the result as a markdown table.
@@ -69,4 +71,14 @@ func (r Result) Text() string {
 // Fprint writes the text rendering to w.
 func (r Result) Fprint(w io.Writer) {
 	fmt.Fprintln(w, r.Text())
+}
+
+// WriteJSONFile writes the result as indented JSON — the BENCH_*.json
+// artifacts recorded at the repo root.
+func (r Result) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -92,6 +92,17 @@ func (s *Service) Ledger() *crowd.Ledger { return s.ledger }
 // Catalog exposes the persistent catalog.
 func (s *Service) Catalog() *store.Catalog { return s.cat }
 
+// StoreStats reports the backing store's durability-layer counters (group
+// commit batching, fsyncs, segments, recovery time) — surfaced by the HTTP
+// server at GET /api/v1/metrics. Nil when the backend exposes none.
+func (s *Service) StoreStats() *store.Stats {
+	if sp, ok := s.cat.DB().(interface{ Stats() store.Stats }); ok {
+		st := sp.Stats()
+		return &st
+	}
+	return nil
+}
+
 func (s *Service) newID(prefix string) string {
 	s.nextID++
 	return fmt.Sprintf("%s-%06d", prefix, s.nextID)

@@ -165,7 +165,16 @@ func (s *Server) routes() {
 	// --- v1 ---------------------------------------------------------------
 	s.route("GET /api/v1/healthz", healthz)
 	s.route("GET /api/v1/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		api.WriteJSON(w, http.StatusOK, s.metrics.Snapshot())
+		// HTTP counters plus the store's durability-layer counters (group
+		// commit batching, fsyncs, segments, recovery time).
+		type metricsResp struct {
+			api.Snapshot
+			Store *store.Stats `json:"store,omitempty"`
+		}
+		api.WriteJSON(w, http.StatusOK, metricsResp{
+			Snapshot: s.metrics.Snapshot(),
+			Store:    s.svc.StoreStats(),
+		})
 	}))
 
 	s.route("POST /api/v1/providers", registerProvider)

@@ -104,7 +104,10 @@ func TestV1MetricsEndpoint(t *testing.T) {
 	c := newV1Client(t)
 	var created registerResp
 	c.do("POST", "/api/v1/providers", registerReq{Name: "p"}, http.StatusCreated, &created)
-	var snap api.Snapshot
+	var snap struct {
+		api.Snapshot
+		Store *store.Stats `json:"store"`
+	}
 	c.do("GET", "/api/v1/metrics", nil, http.StatusOK, &snap)
 	if snap.TotalRequests == 0 {
 		t.Fatalf("metrics = %+v", snap)
@@ -117,6 +120,11 @@ func TestV1MetricsEndpoint(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("provider route not tracked: %+v", snap.Routes)
+	}
+	// The durability-layer counters ride along; registering the provider
+	// committed at least one record to the (memory) store.
+	if snap.Store == nil || snap.Store.Backend != "memory" || snap.Store.Commits == 0 {
+		t.Errorf("store stats missing from metrics: %+v", snap.Store)
 	}
 }
 

@@ -60,9 +60,18 @@ func OpenSharded(dir string, n int, opts Options) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("store: shard count must be >= 1, got %d", n)
 	}
-	existing, err := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	// A shard's WAL is a family of files sharing the shard-NNN.wal base
+	// (legacy file, segments, snapshot); count distinct bases.
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.wal*"))
 	if err != nil {
 		return nil, fmt.Errorf("store: scan shard dir: %w", err)
+	}
+	existing := make(map[string]bool)
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if i := strings.Index(base, ".wal"); i > 0 {
+			existing[base[:i+len(".wal")]] = true
+		}
 	}
 	if len(existing) > 0 && len(existing) != n {
 		return nil, fmt.Errorf("store: %s holds %d shards, asked to open %d", dir, len(existing), n)

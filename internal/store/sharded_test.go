@@ -248,6 +248,64 @@ func TestOpenShardedPersistence(t *testing.T) {
 	}
 }
 
+// TestShardedApplyCrossShardFailureMode pins the documented atomicity
+// contract of Sharded.Apply: mutation groups are applied per shard in
+// ascending shard order, so when a later shard fails, groups already
+// applied to earlier shards stay applied — there is no cross-shard
+// transaction or rollback. Callers needing atomicity must keep the keys
+// involved under one first path segment.
+func TestShardedApplyCrossShardFailureMode(t *testing.T) {
+	s := NewSharded(4)
+	// Find first segments owned by three distinct shards, ordered by shard
+	// index: lo and mid apply before hi.
+	bySeg := map[int]string{}
+	for i := 0; len(bySeg) < len(s.shards); i++ {
+		seg := fmt.Sprintf("seg-%03d", i)
+		idx := s.ShardFor(seg)
+		if _, ok := bySeg[idx]; !ok {
+			bySeg[idx] = seg
+		}
+	}
+	loKey := bySeg[0] + "/k"
+	midKey := bySeg[1] + "/k"
+	hiKey := bySeg[3] + "/k"
+
+	// Kill the highest shard so its group fails after the others applied.
+	if err := s.shards[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Apply([]Mutation{
+		{Op: OpPut, Table: "t", Key: loKey, Value: 1},
+		{Op: OpPut, Table: "t", Key: midKey, Value: 2},
+		{Op: OpPut, Table: "t", Key: hiKey, Value: 3},
+	})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply across a failed shard: err = %v, want ErrClosed", err)
+	}
+	// Documented behavior: earlier shards' groups stay applied...
+	if !s.Has("t", loKey) || !s.Has("t", midKey) {
+		t.Fatalf("groups on healthy shards before the failure must stay applied (lo=%v mid=%v)",
+			s.Has("t", loKey), s.Has("t", midKey))
+	}
+	// ...and the failing shard's group is absent. No rollback either way.
+	if s.Has("t", hiKey) {
+		t.Fatal("failed shard's group must not be applied")
+	}
+
+	// Within one first path segment (one shard), Apply stays atomic even
+	// alongside the failure.
+	segKeyA, segKeyB := bySeg[0]+"/a", bySeg[0]+"/b"
+	if err := s.Apply([]Mutation{
+		{Op: OpPut, Table: "t", Key: segKeyA, Value: 10},
+		{Op: OpPut, Table: "t", Key: segKeyB, Value: 11},
+	}); err != nil {
+		t.Fatalf("single-shard batch must succeed: %v", err)
+	}
+	if !s.Has("t", segKeyA) || !s.Has("t", segKeyB) {
+		t.Fatal("single-shard batch lost mutations")
+	}
+}
+
 // TestCatalogOverSharded runs the typed layer's hot paths over a sharded
 // backend: per-resource post sequences must stay dense and ordered.
 func TestCatalogOverSharded(t *testing.T) {

@@ -6,14 +6,18 @@
 //
 // Two backends implement Store:
 //
-//   - DB: a single append-only write-ahead log (WAL) of JSON records backs
-//     any number of named tables (key → JSON value) behind one lock.
-//     Mutations are appended to the WAL before being applied in memory;
-//     Open replays the log to recover state, tolerating a torn final
-//     record. Batches are single WAL records and therefore atomic across
-//     tables. Compact rewrites the log as a snapshot. A DB opened with
-//     OpenMemory is purely in-memory (used by simulations and benchmarks
-//     that do not need durability).
+//   - DB: any number of named tables (key → JSON value) backed by a
+//     write-ahead log laid out as a snapshot plus CRC-framed segments (see
+//     wal.go for the on-disk format). Mutations are persisted by a
+//     background group-commit writer that coalesces concurrent commits into
+//     one buffered write + fsync; committers block on the commit barrier,
+//     so a nil return still means "applied and as durable as Options
+//     demand". Open replays the snapshot plus the live segment tail,
+//     tolerating a torn final record. Batches are single WAL records and
+//     therefore atomic across tables. Compact takes an online snapshot:
+//     readers are never blocked, writers only at the cut point. A DB opened
+//     with OpenMemory is purely in-memory (used by simulations and
+//     benchmarks that do not need durability).
 //   - Sharded: N inner stores with keys hash-partitioned on the first path
 //     segment, so concurrent projects contend on different locks and
 //     prefix scans touch 1/N of the key space. See Sharded for the routing
@@ -34,6 +38,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Op is a WAL operation type.
@@ -67,22 +73,67 @@ var ErrNotFound = errors.New("store: key not found")
 type DB struct {
 	mu     sync.RWMutex
 	path   string
-	file   *os.File
-	w      *bufio.Writer
+	opts   Options
 	tables map[string]map[string][]byte
 	seq    uint64
 	closed bool
-	// syncEvery controls fsync frequency; 0 means never (tests/benchmarks),
-	// 1 means every record.
-	syncEvery int
-	sinceSync int
+	// walErr is the sticky storage failure: after a failed or torn WAL
+	// write the on-disk tail is unknowable, so every further mutation
+	// reports the original error instead of diverging memory from disk.
+	walErr error
+
+	wal *wal // nil for in-memory stores
+
+	// Group-commit writer plumbing (unused when the writer is disabled).
+	pend       []*pendingCommit
+	wake       chan struct{}
+	stop       chan struct{}
+	writerDone chan struct{}
+
+	compacting bool
+	bg         sync.WaitGroup // in-flight background compactions
+
+	fp atomic.Pointer[func(Failpoint) bool]
+
+	st counters
 }
 
 // Options configures Open.
 type Options struct {
-	// SyncEvery fsyncs the WAL after every N records (0 disables fsync;
-	// durability then depends on OS flush). Default 0.
+	// SyncEvery fsyncs the WAL after every N committed records (0 disables
+	// fsync; durability then depends on OS flush). The group-commit writer
+	// issues at most one fsync per commit batch, so SyncEvery=1 costs one
+	// fsync per batch of concurrent committers, not one per record.
 	SyncEvery int
+	// GroupCommitWindow controls the background WAL writer:
+	//
+	//	 0  (default) writer enabled, natural batching: each flush takes
+	//	    every commit that queued while the previous flush ran
+	//	>0  writer additionally waits this long after waking so more
+	//	    concurrent committers can join the batch
+	//	<0  writer disabled: synchronous per-record append (+fsync per
+	//	    SyncEvery) under the store lock — the pre-group-commit
+	//	    baseline, kept for benchmarks
+	GroupCommitWindow time.Duration
+	// SegmentBytes rotates the active WAL segment once it exceeds this
+	// size (0 = DefaultSegmentBytes, <0 disables rotation).
+	SegmentBytes int64
+	// AutoCompact starts an online snapshot compaction in the background
+	// once sealed (replay-on-recovery) WAL bytes exceed this (0 disables).
+	AutoCompact int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// groupMode reports whether the background group-commit writer runs for
+// this DB. Immutable after Open.
+func (db *DB) groupMode() bool {
+	return db.wal != nil && db.opts.GroupCommitWindow >= 0
 }
 
 // OpenMemory returns a volatile in-memory DB.
@@ -90,8 +141,10 @@ func OpenMemory() *DB {
 	return &DB{tables: make(map[string]map[string][]byte)}
 }
 
-// Open opens (creating if needed) a DB backed by the WAL file at path and
-// replays it.
+// Open opens (creating if needed) a DB backed by the WAL layout rooted at
+// path (see wal.go) and recovers its state: snapshot first, then the
+// segment tail. A pre-segment single-file WAL at path itself is migrated
+// transparently.
 func Open(path string, opts Options) (*DB, error) {
 	if path == "" {
 		return nil, errors.New("store: path required; use OpenMemory for volatile stores")
@@ -100,61 +153,185 @@ func Open(path string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("store: mkdir: %w", err)
 	}
 	db := &DB{
-		path:      path,
-		tables:    make(map[string]map[string][]byte),
-		syncEvery: opts.SyncEvery,
+		path:   path,
+		opts:   opts.withDefaults(),
+		tables: make(map[string]map[string][]byte),
+		wal:    &wal{},
 	}
-	if err := db.replay(); err != nil {
+	start := time.Now()
+	if err := db.recover(); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open wal: %w", err)
+	db.st.recoveryMillis = float64(time.Since(start).Microseconds()) / 1e3
+	if db.groupMode() {
+		db.wake = make(chan struct{}, 1)
+		db.stop = make(chan struct{})
+		db.writerDone = make(chan struct{})
+		go db.writerLoop()
 	}
-	db.file = f
-	db.w = bufio.NewWriter(f)
+	// A store recovered with an over-threshold tail compacts right away
+	// instead of waiting for the next commit.
+	db.maybeAutoCompact()
 	return db, nil
 }
 
-// replay loads the WAL into memory. A final corrupt (torn) line stops
-// replay without error; corruption earlier in the log is reported.
-func (db *DB) replay() error {
-	f, err := os.Open(db.path)
+// tornMark remembers the single tolerated torn tail found during recovery.
+type tornMark struct {
+	seen bool
+	path string
+	off  int64
+}
+
+// recover rebuilds the in-memory state from disk: snapshot, then the legacy
+// single-file WAL (if migrating), then the segments in index order; finally
+// it truncates the torn tail (if any) and opens the active segment.
+func (db *DB) recover() error {
+	w := db.wal
+	_ = os.Remove(db.path + snapTmpSuffix) // in-flight snapshot from a crashed compaction
+
+	snapPath := db.path + snapSuffix
+	if _, err := os.Stat(snapPath); err == nil {
+		seq, tables, lerr := loadSnapshotFile(snapPath)
+		if lerr != nil {
+			return lerr
+		}
+		db.tables = tables
+		db.seq = seq
+		db.st.snapshotSeq.Store(seq)
+		db.st.snapshotLoaded = true
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: stat snapshot: %w", err)
+	}
+
+	var torn tornMark
+	var applied uint64
+	if _, err := os.Stat(db.path); err == nil {
+		if rerr := db.replayFile(db.path, false, &torn, &applied); rerr != nil {
+			return rerr
+		}
+		w.legacy = db.path
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: stat wal: %w", err)
+	}
+	segs, err := listSegments(db.path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("store: open for replay: %w", err)
+		return err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	var lastGood uint64
-	for lineNo := 1; ; lineNo++ {
-		line, err := r.ReadBytes('\n')
-		if len(line) > 0 {
-			var rec Record
-			if jerr := json.Unmarshal(bytes.TrimSpace(line), &rec); jerr != nil {
-				if err == nil {
-					// Corruption mid-log: there is data after this line.
-					return fmt.Errorf("store: corrupt wal record at line %d: %v", lineNo, jerr)
-				}
-				break // torn final record: recover up to the previous one
-			}
-			db.applyLocked(rec)
-			lastGood = rec.Seq
-		}
-		if err != nil {
-			if err == io.EOF {
-				break
-			}
-			return fmt.Errorf("store: read wal: %w", err)
+	for _, s := range segs {
+		if rerr := db.replayFile(s.path, true, &torn, &applied); rerr != nil {
+			return rerr
 		}
 	}
-	db.seq = lastGood
+	if torn.seen {
+		// Drop the torn tail so new appends start on a clean record
+		// boundary instead of gluing onto half a record.
+		if terr := os.Truncate(torn.path, torn.off); terr != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", terr)
+		}
+	}
+	if w.legacy != "" {
+		fi, serr := os.Stat(w.legacy)
+		if serr != nil {
+			return fmt.Errorf("store: stat wal: %w", serr)
+		}
+		w.legacySize = fi.Size()
+	}
+
+	// Seal every segment but the last; append to the last unless it is
+	// already over the rotation threshold.
+	openFresh := uint64(1)
+	for i, s := range segs {
+		size := s.size
+		if torn.seen && torn.path == s.path {
+			size = torn.off
+		}
+		last := i == len(segs)-1
+		if last && (db.opts.SegmentBytes <= 0 || size < db.opts.SegmentBytes) {
+			if oerr := w.openSegment(db.path, s.idx); oerr != nil {
+				return oerr
+			}
+			openFresh = 0
+			break
+		}
+		w.sealed = append(w.sealed, sealedFile{path: s.path, size: size})
+		w.sealedSize += size
+		if s.idx >= w.nextIdx {
+			w.nextIdx = s.idx + 1
+		}
+		if last {
+			openFresh = w.nextIdx
+		}
+	}
+	if openFresh > 0 {
+		if oerr := w.openSegment(db.path, max(openFresh, w.nextIdx)); oerr != nil {
+			return oerr
+		}
+	}
+	w.lastApplied = db.seq // everything recovered is on disk and applied
+	db.st.recoveredRecords = applied
 	return nil
 }
 
-// applyLocked applies a record to the in-memory state (caller holds lock or
+// replayFile replays one WAL file. framed selects the CRC-framed segment
+// format; the legacy single-file format is plain JSON lines. Records at or
+// below the recovered sequence (already covered by the snapshot) are
+// skipped; framed records beyond it must be contiguous. Exactly one torn
+// tail is tolerated across all files, and only if no record follows it.
+func (db *DB) replayFile(path string, framed bool, torn *tornMark, applied *uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: open for replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<18)
+	var off int64
+	base := filepath.Base(path)
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) > 0 {
+			if rerr != nil {
+				// Unterminated final chunk: a torn tail from a crash
+				// mid-append. Tolerated once, and only at the very end of
+				// the log.
+				if torn.seen {
+					return fmt.Errorf("store: second torn record at %s:%d (corruption)", base, lineNo)
+				}
+				torn.seen, torn.path, torn.off = true, path, off
+			} else {
+				var rec Record
+				var perr error
+				if framed {
+					rec, perr = parseFramed(line[:len(line)-1])
+				} else {
+					perr = json.Unmarshal(bytes.TrimSpace(line), &rec)
+				}
+				if perr != nil {
+					return fmt.Errorf("store: corrupt wal record at %s:%d: %v", base, lineNo, perr)
+				}
+				if rec.Seq > db.seq {
+					if torn.seen {
+						return fmt.Errorf("store: wal records follow a torn tail at %s (corruption)", filepath.Base(torn.path))
+					}
+					if framed && rec.Seq != db.seq+1 {
+						return fmt.Errorf("store: wal sequence gap at %s:%d: have %d, want %d", base, lineNo, rec.Seq, db.seq+1)
+					}
+					db.applyLocked(rec)
+					db.seq = rec.Seq
+					*applied++
+				}
+				off += int64(len(line))
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("store: read wal %s: %w", base, rerr)
+		}
+	}
+}
+
+// applyLocked applies a record to the in-memory state (caller holds mu or
 // is in single-threaded recovery).
 func (db *DB) applyLocked(rec Record) {
 	switch rec.Op {
@@ -178,33 +355,134 @@ func (db *DB) applyLocked(rec Record) {
 	}
 }
 
-// appendLocked writes a record to the WAL (no-op for in-memory DBs).
-func (db *DB) appendLocked(rec Record) error {
-	if db.w == nil {
-		return nil
+// fail records err as the DB's sticky storage failure and returns it (or
+// the earlier failure if one is already recorded).
+func (db *DB) fail(err error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.walErr == nil {
+		db.walErr = err
 	}
-	enc, err := json.Marshal(rec)
+	return db.walErr
+}
+
+func (db *DB) stickyErr() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.walErr
+}
+
+// commitRecord routes one mutation record through the configured
+// durability path and applies it to memory.
+func (db *DB) commitRecord(op Op, table, key string, value json.RawMessage, batch []Record) error {
+	if db.wal == nil {
+		return db.commitMemory(op, table, key, value, batch)
+	}
+	if db.groupMode() {
+		return db.commitGroup(op, table, key, value, batch)
+	}
+	return db.commitSync(op, table, key, value, batch)
+}
+
+func (db *DB) commitMemory(op Op, table, key string, value json.RawMessage, batch []Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	db.applyLocked(Record{Seq: db.seq, Op: op, Table: table, Key: key, Value: value, Batch: batch})
+	db.st.commits.Add(1)
+	return nil
+}
+
+// commitGroup enqueues the record for the group-commit writer and blocks on
+// the commit barrier: when it returns nil the record is written, flushed,
+// fsynced per Options.SyncEvery, and applied.
+func (db *DB) commitGroup(op Op, table, key string, value json.RawMessage, batch []Record) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.walErr != nil {
+		err := db.walErr
+		db.mu.Unlock()
+		return err
+	}
+	db.seq++
+	rec := Record{Seq: db.seq, Op: op, Table: table, Key: key, Value: value, Batch: batch}
+	enc, err := frameRecord(rec)
 	if err != nil {
-		return fmt.Errorf("store: encode wal record: %w", err)
+		db.seq-- // nothing escaped; reuse the sequence number
+		db.mu.Unlock()
+		return err
 	}
-	if _, err := db.w.Write(enc); err != nil {
-		return fmt.Errorf("store: append wal: %w", err)
+	c := &pendingCommit{rec: rec, enc: enc, done: make(chan struct{})}
+	db.pend = append(db.pend, c)
+	db.mu.Unlock()
+	db.wakeWriter()
+	<-c.done
+	return c.err
+}
+
+// commitSync is the pre-group-commit baseline: append + fsync + apply under
+// the store lock, one record at a time.
+func (db *DB) commitSync(op Op, table, key string, value json.RawMessage, batch []Record) error {
+	w := db.wal
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
 	}
-	if err := db.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: append wal: %w", err)
+	if db.walErr != nil {
+		err := db.walErr
+		db.mu.Unlock()
+		return err
 	}
-	if err := db.w.Flush(); err != nil {
-		return fmt.Errorf("store: flush wal: %w", err)
+	db.seq++
+	rec := Record{Seq: db.seq, Op: op, Table: table, Key: key, Value: value, Batch: batch}
+	enc, err := frameRecord(rec)
+	if err != nil {
+		db.seq--
+		db.mu.Unlock()
+		return err
 	}
-	if db.syncEvery > 0 {
-		db.sinceSync++
-		if db.sinceSync >= db.syncEvery {
-			if err := db.file.Sync(); err != nil {
-				return fmt.Errorf("store: sync wal: %w", err)
-			}
-			db.sinceSync = 0
+	fail := func(err error) error {
+		if db.walErr == nil {
+			db.walErr = err
 		}
+		err = db.walErr
+		db.mu.Unlock()
+		return err
 	}
+	if _, werr := w.bw.Write(enc); werr != nil {
+		return fail(fmt.Errorf("store: append wal: %w", werr))
+	}
+	if werr := w.bw.Flush(); werr != nil {
+		return fail(fmt.Errorf("store: flush wal: %w", werr))
+	}
+	w.addActiveSize(int64(len(enc)))
+	w.sinceSync++
+	if db.opts.SyncEvery > 0 && w.sinceSync >= db.opts.SyncEvery {
+		if serr := w.file.Sync(); serr != nil {
+			return fail(fmt.Errorf("store: sync wal: %w", serr))
+		}
+		w.sinceSync = 0
+		db.st.fsyncs.Add(1)
+	}
+	db.applyLocked(rec)
+	db.mu.Unlock()
+	w.lastApplied = rec.Seq
+	db.st.commits.Add(1)
+	db.st.batches.Add(1)
+	db.st.walBytes.Add(uint64(len(enc)))
+	if db.opts.SegmentBytes > 0 && w.activeSize >= db.opts.SegmentBytes {
+		_ = db.rotateLocked() // wedges on failure; this record is already safe
+	}
+	db.maybeAutoCompact()
 	return nil
 }
 
@@ -214,18 +492,7 @@ func (db *DB) Put(table, key string, value any) error {
 	if err != nil {
 		return fmt.Errorf("store: marshal value: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	db.seq++
-	rec := Record{Seq: db.seq, Op: OpPut, Table: table, Key: key, Value: raw}
-	if err := db.appendLocked(rec); err != nil {
-		return err
-	}
-	db.applyLocked(rec)
-	return nil
+	return db.commitRecord(OpPut, table, key, raw, nil)
 }
 
 // Get unmarshals the value at (table, key) into out. It returns ErrNotFound
@@ -254,18 +521,7 @@ func (db *DB) Has(table, key string) bool {
 
 // Delete removes (table, key); deleting a missing key is not an error.
 func (db *DB) Delete(table, key string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	db.seq++
-	rec := Record{Seq: db.seq, Op: OpDelete, Table: table, Key: key}
-	if err := db.appendLocked(rec); err != nil {
-		return err
-	}
-	db.applyLocked(rec)
-	return nil
+	return db.commitRecord(OpDelete, table, key, nil, nil)
 }
 
 // Mutation is one entry of an atomic batch.
@@ -297,18 +553,7 @@ func (db *DB) Apply(muts []Mutation) error {
 			return fmt.Errorf("store: batch mutation %d has invalid op %q", i, m.Op)
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	db.seq++
-	rec := Record{Seq: db.seq, Op: OpBatch, Batch: subs}
-	if err := db.appendLocked(rec); err != nil {
-		return err
-	}
-	db.applyLocked(rec)
-	return nil
+	return db.commitRecord(OpBatch, "", "", nil, subs)
 }
 
 // Scan visits every (key, raw JSON value) of a table in ascending key order;
@@ -360,123 +605,228 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// Seq returns the last applied WAL sequence number.
+// Seq returns the last assigned WAL sequence number.
 func (db *DB) Seq() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.seq
 }
 
-// Sync forces the WAL to stable storage.
+// Sync forces the WAL to stable storage: it blocks until everything
+// committed before the call is flushed and fsynced.
 func (db *DB) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if db.w == nil {
+	if db.wal == nil {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return ErrClosed
+		}
 		return nil
 	}
-	if err := db.w.Flush(); err != nil {
-		return err
+	if db.groupMode() {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if db.walErr != nil {
+			err := db.walErr
+			db.mu.Unlock()
+			return err
+		}
+		c := &pendingCommit{syncBarrier: true, done: make(chan struct{})}
+		db.pend = append(db.pend, c)
+		db.mu.Unlock()
+		db.wakeWriter()
+		<-c.done
+		return c.err
 	}
-	return db.file.Sync()
-}
-
-// Compact rewrites the WAL as a snapshot of current state, dropping
-// superseded records. The swap is atomic (write temp + rename).
-func (db *DB) Compact() error {
+	w := db.wal
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
-	if db.w == nil {
-		return nil // in-memory: nothing to compact
-	}
-	if err := db.w.Flush(); err != nil {
+	if db.walErr != nil {
+		err := db.walErr
+		db.mu.Unlock()
 		return err
 	}
-	tmp := db.path + ".compact"
-	f, err := os.Create(tmp)
+	db.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		return db.fail(err)
+	}
+	if err := w.file.Sync(); err != nil {
+		return db.fail(err)
+	}
+	w.sinceSync = 0
+	db.st.fsyncs.Add(1)
+	return nil
+}
+
+// Compact takes an online snapshot: it briefly blocks writers at the cut
+// point (seal + state capture), then writes the snapshot and deletes the
+// superseded WAL files without holding any store lock — readers are never
+// blocked, and recovery afterwards replays only the post-cut tail. A
+// compaction already in flight makes Compact a no-op. In-memory DBs have
+// nothing to compact.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.wal == nil || db.compacting {
+		db.mu.Unlock()
+		return nil
+	}
+	db.compacting = true
+	db.bg.Add(1) // under mu so Close's bg.Wait is ordered after this Add
+	db.mu.Unlock()
+	defer db.bg.Done()
+	defer func() {
+		db.mu.Lock()
+		db.compacting = false
+		db.mu.Unlock()
+	}()
+
+	cut, err := db.cut()
 	if err != nil {
-		return fmt.Errorf("store: compact: %w", err)
+		return err
 	}
-	bw := bufio.NewWriter(f)
-	enc := json.NewEncoder(bw)
-	var seq uint64
-	tables := make([]string, 0, len(db.tables))
-	for name := range db.tables {
-		tables = append(tables, name)
+	return db.writeSnapshotAndCleanup(cut)
+}
+
+// cut obtains the compaction cut, via the writer in group-commit mode (so
+// the cut serializes with in-flight batches) or directly otherwise.
+func (db *DB) cut() (*cutState, error) {
+	if !db.groupMode() {
+		return db.performCut()
 	}
-	sort.Strings(tables)
-	for _, name := range tables {
-		keys := make([]string, 0, len(db.tables[name]))
-		for k := range db.tables[name] {
-			keys = append(keys, k)
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if db.walErr != nil {
+		err := db.walErr
+		db.mu.Unlock()
+		return nil, err
+	}
+	c := &pendingCommit{cut: true, done: make(chan struct{})}
+	db.pend = append(db.pend, c)
+	db.mu.Unlock()
+	db.wakeWriter()
+	<-c.done
+	return c.cutState, c.err
+}
+
+// writeSnapshotAndCleanup persists the cut as a snapshot and removes the
+// WAL files it supersedes. Runs without store locks.
+func (db *DB) writeSnapshotAndCleanup(cut *cutState) error {
+	tmp := db.path + snapTmpSuffix
+	if err := writeSnapshotFile(tmp, cut.seq, cut.tables); err != nil {
+		db.restoreCovered(cut)
+		return err
+	}
+	if db.failpointHit(FailSnapshotBeforeRename) {
+		return db.fail(ErrCrashed) // tmp left behind; next Open removes it
+	}
+	if err := os.Rename(tmp, db.path+snapSuffix); err != nil {
+		os.Remove(tmp)
+		db.restoreCovered(cut)
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	syncDir(filepath.Dir(db.path))
+	db.st.snapshotSeq.Store(cut.seq)
+	if db.failpointHit(FailSnapshotBeforeCleanup) {
+		return db.fail(ErrCrashed) // covered segments remain; recovery skips them by seq
+	}
+	// Best-effort removal: a file that cannot be removed stays harmless
+	// (recovery skips its records by seq) and goes back on the sealed list
+	// so the next compaction retries instead of orphaning it.
+	sizes := make(map[string]int64, len(cut.coveredSegs))
+	for _, s := range cut.coveredSegs {
+		sizes[s.path] = s.size
+	}
+	var kept []sealedFile
+	legacyKept := false
+	var firstErr error
+	for _, p := range cut.covered {
+		err := os.Remove(p)
+		if err == nil || os.IsNotExist(err) {
+			continue
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			seq++
-			rec := Record{Seq: seq, Op: OpPut, Table: name, Key: k, Value: db.tables[name][k]}
-			if err := enc.Encode(&rec); err != nil {
-				f.Close()
-				os.Remove(tmp)
-				return fmt.Errorf("store: compact encode: %w", err)
-			}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("store: remove compacted wal file: %w", err)
+		}
+		if p == db.path {
+			legacyKept = true
+		} else {
+			kept = append(kept, sealedFile{path: p, size: sizes[p]})
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	db.restoreSealed(kept)
+	if !legacyKept {
+		w := db.wal
+		w.fmu.Lock()
+		w.smu.Lock()
+		w.legacy, w.legacySize = "", 0
+		w.smu.Unlock()
+		w.fmu.Unlock()
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	if firstErr != nil {
+		return firstErr
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := db.file.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, db.path); err != nil {
-		return fmt.Errorf("store: compact rename: %w", err)
-	}
-	nf, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: compact reopen: %w", err)
-	}
-	db.file = nf
-	db.w = bufio.NewWriter(nf)
-	db.seq = seq
+	db.st.compactions.Add(1)
 	return nil
 }
 
 // Close flushes and closes the WAL. Further operations return ErrClosed.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
-	if db.w != nil {
-		if err := db.w.Flush(); err != nil {
-			db.file.Close()
-			return err
-		}
-		if err := db.file.Sync(); err != nil {
-			db.file.Close()
-			return err
-		}
-		return db.file.Close()
+	db.mu.Unlock()
+	if db.wal == nil {
+		return nil
 	}
-	return nil
+	if db.groupMode() {
+		close(db.stop)
+		<-db.writerDone
+	}
+	db.bg.Wait()
+	healthy := db.stickyErr() == nil
+	w := db.wal
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.file == nil {
+		return nil
+	}
+	if !healthy {
+		// After a (simulated or real) write failure, don't flush buffered
+		// bytes over a torn tail — just release the descriptor.
+		err := w.file.Close()
+		w.file, w.bw = nil, nil
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.file.Close()
+		return err
+	}
+	if err := w.file.Sync(); err != nil {
+		w.file.Close()
+		return err
+	}
+	err := w.file.Close()
+	w.file, w.bw = nil, nil
+	return err
 }
 
-// Path returns the WAL path ("" for in-memory DBs).
+// Path returns the WAL base path ("" for in-memory DBs).
 func (db *DB) Path() string { return db.path }

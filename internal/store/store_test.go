@@ -136,6 +136,35 @@ func TestWALRecovery(t *testing.T) {
 	}
 }
 
+// activeSegment returns the path of the base path's highest-index segment.
+func activeSegment(t *testing.T, base string) string {
+	t.Helper()
+	segs, err := listSegments(base)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments under %s: %v", base, err)
+	}
+	return segs[len(segs)-1].path
+}
+
+// walDiskSize sums the on-disk bytes of every file in a WAL layout.
+func walDiskSize(t *testing.T, base string) int64 {
+	t.Helper()
+	var total int64
+	for _, p := range append([]string{base, base + snapSuffix}, func() []string {
+		segs, _ := listSegments(base)
+		out := make([]string, len(segs))
+		for i, s := range segs {
+			out[i] = s.path
+		}
+		return out
+	}()...) {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
 func TestWALTornFinalRecordTolerated(t *testing.T) {
 	db, path := openTemp(t)
 	_ = db.Put("t", "a", kv{N: 1})
@@ -143,12 +172,13 @@ func TestWALTornFinalRecordTolerated(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a crash mid-append: partial JSON with no trailing newline.
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	// Simulate a crash mid-append: a partial frame with no trailing newline
+	// at the end of the active segment.
+	f, err := os.OpenFile(activeSegment(t, path), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"seq":3,"op":"put","table":"t","key":"c","val`); err != nil {
+	if _, err := f.WriteString(`0badc0de {"seq":3,"op":"put","table":"t","key":"c","val`); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -173,14 +203,16 @@ func TestWALTornFinalRecordTolerated(t *testing.T) {
 func TestWALMidLogCorruptionReported(t *testing.T) {
 	db, path := openTemp(t)
 	_ = db.Put("t", "a", kv{N: 1})
+	_ = db.Put("t", "b", kv{N: 2})
 	_ = db.Close()
-	// Corrupt the first line, then append a valid-looking second line.
-	data, err := os.ReadFile(path)
+	// Corrupt the first record while a valid one still follows it.
+	seg := activeSegment(t, path)
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	corrupted := append([]byte("XX"), data...)
-	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+	if err := os.WriteFile(seg, corrupted, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(path, Options{}); err == nil {
@@ -246,19 +278,13 @@ func TestCompactShrinksAndPreserves(t *testing.T) {
 		_ = db.Put("t", "hot", kv{N: i}) // same key overwritten
 	}
 	_ = db.Put("t", "cold", kv{N: -1})
-	before, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	before := walDiskSize(t, path)
 	if err := db.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if after.Size() >= before.Size() {
-		t.Errorf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	after := walDiskSize(t, path)
+	if after >= before {
+		t.Errorf("compact did not shrink: %d -> %d", before, after)
 	}
 	var got kv
 	if err := db.Get("t", "hot", &got); err != nil || got.N != 199 {

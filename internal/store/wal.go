@@ -1,0 +1,545 @@
+package store
+
+// This file implements the on-disk write-ahead-log layout behind DB: a
+// snapshot plus numbered live segments, the background group-commit writer,
+// and the failpoint hooks the crash tests use to simulate process death at
+// the worst possible moments.
+//
+// Layout for a DB opened at path P:
+//
+//	P                legacy pre-segment WAL (replayed once, removed by the
+//	                 next compaction)
+//	P.snapshot       checksummed state snapshot: header line + JSON body
+//	P.snapshot.tmp   in-flight snapshot (removed at open)
+//	P.seg-NNNNNNNN   WAL segments, replayed in index order after the snapshot
+//
+// Segment record framing: every line is "%08x <json>\n" where the hex prefix
+// is the IEEE CRC-32 of the JSON body. Recovery verifies the checksum of
+// every line, requires sequence numbers to be contiguous, tolerates exactly
+// one torn tail (an unterminated final line with no records after it), and
+// truncates that tail so new appends start on a clean record boundary.
+//
+// Lock ordering: wal.fmu (file state) is always acquired before DB.mu
+// (memory state). Readers take only DB.mu and therefore never wait behind a
+// write or an fsync in group-commit mode.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultSegmentBytes is the WAL segment rotation threshold used when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 4 << 20
+
+const (
+	segPrefix     = ".seg-"
+	snapSuffix    = ".snapshot"
+	snapTmpSuffix = ".snapshot.tmp"
+)
+
+// Failpoint names a crash-injection site inside the WAL writer and the
+// snapshot compactor. Tests install a hook with SetFailpoint; when the hook
+// returns true for a site the DB behaves as if the process died right
+// there: pending bytes may be torn, no further cleanup runs, and every
+// subsequent mutation fails. Reopening the path exercises recovery exactly
+// as a real crash would.
+type Failpoint string
+
+// Crash-injection sites.
+const (
+	// FailAppendMid dies halfway through writing a commit batch, leaving a
+	// torn record on disk.
+	FailAppendMid Failpoint = "append:mid-batch"
+	// FailRotateMid dies between sealing the active segment and writing to
+	// its successor (the successor file exists but is empty).
+	FailRotateMid Failpoint = "rotate:mid"
+	// FailSnapshotBeforeRename dies after writing the snapshot temp file but
+	// before the atomic rename (the old snapshot, if any, stays in force).
+	FailSnapshotBeforeRename Failpoint = "snapshot:before-rename"
+	// FailSnapshotBeforeCleanup dies after the snapshot rename but before
+	// the superseded segments are deleted (recovery must skip them by seq).
+	FailSnapshotBeforeCleanup Failpoint = "snapshot:before-cleanup"
+)
+
+// ErrCrashed is the sticky error a DB reports after a failpoint simulated a
+// crash; the on-disk state is whatever the "dead process" left behind.
+var ErrCrashed = errors.New("store: simulated crash (failpoint)")
+
+// SetFailpoint installs fn as the crash-injection hook (nil uninstalls).
+// Test instrumentation only; production DBs never set one.
+func (db *DB) SetFailpoint(fn func(Failpoint) bool) {
+	if fn == nil {
+		db.fp.Store(nil)
+		return
+	}
+	db.fp.Store(&fn)
+}
+
+func (db *DB) failpointHit(p Failpoint) bool {
+	fn := db.fp.Load()
+	return fn != nil && (*fn)(p)
+}
+
+// wal is the file-side state of a durable DB. Every field is guarded by fmu;
+// fmu is held by the group-commit writer during writes, so rotation and the
+// compaction cut cannot interleave with an append.
+//
+// The size/layout fields (activeSize, sealed, sealedSize, legacy,
+// legacySize) are additionally guarded by smu: mutators hold fmu AND take
+// smu for the brief field update, so Stats can read them under smu alone
+// without stalling behind an in-flight write or fsync (fmu is held across
+// disk I/O). Lock order: fmu → DB.mu, fmu → smu; smu is a leaf.
+type wal struct {
+	fmu        sync.Mutex
+	file       *os.File // active segment
+	bw         *bufio.Writer
+	activePath string
+	activeIdx  uint64
+	nextIdx    uint64
+	sinceSync  int
+	// lastApplied is the highest sequence number actually written to the
+	// WAL and applied to memory. It trails DB.seq (the assignment counter)
+	// by whatever is still queued for the group-commit writer; a
+	// compaction cut must cover exactly lastApplied — covering DB.seq
+	// would make recovery skip queued records that land after the cut.
+	lastApplied uint64
+
+	smu        sync.Mutex
+	activeSize int64
+	sealed     []sealedFile // older live segments, oldest first
+	sealedSize int64
+	legacy     string // pre-segment single-file WAL ("" once compacted away)
+	legacySize int64
+}
+
+// addActiveSize bumps the active segment's size. Caller holds fmu.
+func (w *wal) addActiveSize(n int64) {
+	w.smu.Lock()
+	w.activeSize += n
+	w.smu.Unlock()
+}
+
+// replayBytes returns the bytes recovery would have to replay right now
+// (everything not covered by the snapshot).
+func (w *wal) replayBytes() int64 {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	return w.sealedSize + w.legacySize + w.activeSize
+}
+
+type sealedFile struct {
+	path string
+	size int64
+}
+
+func segPath(base string, idx uint64) string {
+	return fmt.Sprintf("%s%s%08d", base, segPrefix, idx)
+}
+
+// openSegment creates (or opens for append) the segment with the given
+// index and makes it active. Caller holds fmu.
+func (w *wal) openSegment(base string, idx uint64) error {
+	path := segPath(base, idx)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open segment: %w", err)
+	}
+	size := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	w.file = f
+	w.bw = bufio.NewWriterSize(f, 1<<18)
+	w.activePath, w.activeIdx = path, idx
+	w.smu.Lock()
+	w.activeSize = size
+	w.smu.Unlock()
+	if idx >= w.nextIdx {
+		w.nextIdx = idx + 1
+	}
+	return nil
+}
+
+type segInfo struct {
+	idx  uint64
+	path string
+	size int64
+}
+
+// listSegments returns the base path's WAL segments sorted by index.
+func listSegments(base string) ([]segInfo, error) {
+	matches, err := filepath.Glob(base + segPrefix + "*")
+	if err != nil {
+		return nil, fmt.Errorf("store: list segments: %w", err)
+	}
+	segs := make([]segInfo, 0, len(matches))
+	for _, m := range matches {
+		idx, perr := strconv.ParseUint(m[len(base)+len(segPrefix):], 10, 64)
+		if perr != nil {
+			continue // not a segment (e.g. a stray editor backup)
+		}
+		fi, serr := os.Stat(m)
+		if serr != nil {
+			return nil, fmt.Errorf("store: stat segment: %w", serr)
+		}
+		segs = append(segs, segInfo{idx: idx, path: m, size: fi.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	return segs, nil
+}
+
+// frameRecord encodes rec as one CRC-framed segment line.
+func frameRecord(rec Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode wal record: %w", err)
+	}
+	line := make([]byte, 0, len(body)+10)
+	line = append(line, fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))...)
+	line = append(line, ' ')
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseFramed decodes one segment line (without its trailing newline),
+// verifying the CRC frame.
+func parseFramed(data []byte) (Record, error) {
+	var rec Record
+	if len(data) < 10 || data[8] != ' ' {
+		return rec, errors.New("bad record frame")
+	}
+	want, err := strconv.ParseUint(string(data[:8]), 16, 32)
+	if err != nil {
+		return rec, errors.New("bad record checksum field")
+	}
+	body := data[9:]
+	if crc32.ChecksumIEEE(body) != uint32(want) {
+		return rec, errors.New("record checksum mismatch")
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// pendingCommit is one enqueued unit of work for the group-commit writer:
+// a record to persist, a durability barrier (Sync), or a compaction cut.
+type pendingCommit struct {
+	rec  Record
+	enc  []byte
+	done chan struct{}
+	err  error
+
+	syncBarrier bool
+	cut         bool
+	cutState    *cutState
+}
+
+// cutState is what a compaction cut captures: a consistent copy of the
+// in-memory state plus the list of WAL files the snapshot will supersede.
+type cutState struct {
+	seq         uint64
+	tables      map[string]rawTable
+	covered     []string     // every file the snapshot makes deletable
+	coveredSegs []sealedFile // covered segments (for restore on failure)
+}
+
+func (db *DB) wakeWriter() {
+	select {
+	case db.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writerLoop is the per-DB background WAL writer: it drains the pending
+// queue, coalescing every commit that arrived since the last flush into one
+// buffered write + fsync (group commit). Committers block on their commit's
+// done channel, so durability semantics match the synchronous path.
+func (db *DB) writerLoop() {
+	defer close(db.writerDone)
+	for {
+		select {
+		case <-db.stop:
+			db.drainPending()
+			return
+		case <-db.wake:
+		}
+		if win := db.opts.GroupCommitWindow; win > 0 {
+			// Coalescing window: wait for more committers to pile on before
+			// paying for the write + fsync.
+			t := time.NewTimer(win)
+		coalesce:
+			for {
+				select {
+				case <-t.C:
+					break coalesce
+				case <-db.wake:
+				case <-db.stop:
+					t.Stop()
+					db.drainPending()
+					return
+				}
+			}
+		}
+		db.flushOnce()
+	}
+}
+
+// flushOnce processes one batch of pending commits (possibly empty).
+func (db *DB) flushOnce() {
+	db.mu.Lock()
+	batch := db.pend
+	db.pend = nil
+	db.mu.Unlock()
+	if len(batch) > 0 {
+		db.processBatch(batch)
+	}
+}
+
+// drainPending loops until the pending queue is empty — the final flush on
+// Close, after which no new commits can enqueue.
+func (db *DB) drainPending() {
+	for {
+		db.mu.Lock()
+		batch := db.pend
+		db.pend = nil
+		db.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		db.processBatch(batch)
+	}
+}
+
+func (db *DB) processBatch(batch []*pendingCommit) {
+	var writes, barriers, cuts []*pendingCommit
+	for _, c := range batch {
+		switch {
+		case c.cut:
+			cuts = append(cuts, c)
+		case c.syncBarrier:
+			barriers = append(barriers, c)
+		default:
+			writes = append(writes, c)
+		}
+	}
+	if len(writes) > 0 || len(barriers) > 0 {
+		err := db.writeAndApply(writes, len(barriers) > 0)
+		for _, c := range writes {
+			c.err = err
+			close(c.done)
+		}
+		for _, c := range barriers {
+			c.err = err
+			close(c.done)
+		}
+	}
+	for _, c := range cuts {
+		c.cutState, c.err = db.performCut()
+		close(c.done)
+	}
+}
+
+// writeAndApply persists one commit batch — single buffered write, single
+// flush, at most one fsync — then applies it to memory. Applying under fmu
+// keeps written == applied, which the compaction cut relies on.
+func (db *DB) writeAndApply(writes []*pendingCommit, forceSync bool) error {
+	w := db.wal
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if err := db.stickyErr(); err != nil {
+		return err
+	}
+	total := 0
+	for _, c := range writes {
+		total += len(c.enc)
+	}
+	if total > 0 && db.failpointHit(FailAppendMid) {
+		// Simulate the process dying partway through the batch write: half
+		// the batch's bytes reach the file, then the store wedges.
+		buf := make([]byte, 0, total)
+		for _, c := range writes {
+			buf = append(buf, c.enc...)
+		}
+		_, _ = w.bw.Write(buf[:total/2])
+		_ = w.bw.Flush()
+		return db.fail(ErrCrashed)
+	}
+	for _, c := range writes {
+		if _, err := w.bw.Write(c.enc); err != nil {
+			return db.fail(fmt.Errorf("store: append wal: %w", err))
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return db.fail(fmt.Errorf("store: flush wal: %w", err))
+	}
+	w.addActiveSize(int64(total))
+	w.sinceSync += len(writes)
+	if forceSync || (db.opts.SyncEvery > 0 && w.sinceSync >= db.opts.SyncEvery) {
+		if err := w.file.Sync(); err != nil {
+			return db.fail(fmt.Errorf("store: sync wal: %w", err))
+		}
+		w.sinceSync = 0
+		db.st.fsyncs.Add(1)
+	}
+	if len(writes) > 0 {
+		db.mu.Lock()
+		for _, c := range writes {
+			db.applyLocked(c.rec)
+		}
+		db.mu.Unlock()
+		w.lastApplied = writes[len(writes)-1].rec.Seq // enqueue order == seq order
+		db.st.commits.Add(uint64(len(writes)))
+		db.st.batches.Add(1)
+		db.st.walBytes.Add(uint64(total))
+	}
+	if db.opts.SegmentBytes > 0 && w.activeSize >= db.opts.SegmentBytes {
+		// Rotation failure wedges the DB but this batch is already durable
+		// and acked.
+		_ = db.rotateLocked()
+	}
+	db.maybeAutoCompact()
+	return nil
+}
+
+// sealActiveLocked flushes, fsyncs and closes the active segment, moving it
+// onto the sealed list. Caller holds fmu.
+func (db *DB) sealActiveLocked() error {
+	w := db.wal
+	if err := w.bw.Flush(); err != nil {
+		return db.fail(fmt.Errorf("store: seal flush: %w", err))
+	}
+	if err := w.file.Sync(); err != nil {
+		return db.fail(fmt.Errorf("store: seal sync: %w", err))
+	}
+	if err := w.file.Close(); err != nil {
+		return db.fail(fmt.Errorf("store: seal close: %w", err))
+	}
+	w.file, w.bw = nil, nil
+	w.sinceSync = 0
+	db.st.fsyncs.Add(1)
+	w.smu.Lock()
+	w.sealed = append(w.sealed, sealedFile{path: w.activePath, size: w.activeSize})
+	w.sealedSize += w.activeSize
+	w.smu.Unlock()
+	return nil
+}
+
+// rotateLocked seals the active segment and opens its successor. Caller
+// holds fmu.
+func (db *DB) rotateLocked() error {
+	w := db.wal
+	if err := db.sealActiveLocked(); err != nil {
+		return err
+	}
+	if db.failpointHit(FailRotateMid) {
+		// Crash between sealing the old segment and writing to the next: a
+		// real crash can leave the successor created but empty.
+		_ = os.WriteFile(segPath(db.path, w.nextIdx), nil, 0o644)
+		return db.fail(ErrCrashed)
+	}
+	if err := w.openSegment(db.path, w.nextIdx); err != nil {
+		return db.fail(err)
+	}
+	db.st.rotations.Add(1)
+	return nil
+}
+
+// maybeAutoCompact starts a background snapshot compaction once the bytes
+// recovery would replay exceed Options.AutoCompact. Checked after every
+// commit batch (not just on rotation), so it also fires when rotation is
+// disabled and right after recovering an over-threshold store.
+func (db *DB) maybeAutoCompact() {
+	if db.opts.AutoCompact <= 0 || db.wal.replayBytes() < db.opts.AutoCompact {
+		return
+	}
+	db.mu.Lock()
+	busy := db.compacting || db.closed
+	db.mu.Unlock()
+	if busy {
+		return
+	}
+	go func() { _ = db.Compact() }() // rechecks compacting/closed itself
+}
+
+// performCut executes a compaction cut: seal the active segment, capture a
+// consistent copy of the in-memory state, and switch writers onto a fresh
+// segment. Writers are blocked only for the capture.
+func (db *DB) performCut() (*cutState, error) {
+	w := db.wal
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if err := db.stickyErr(); err != nil {
+		return nil, err
+	}
+	if err := db.sealActiveLocked(); err != nil {
+		return nil, err
+	}
+	cut := &cutState{}
+	w.smu.Lock()
+	cut.coveredSegs = append(cut.coveredSegs, w.sealed...)
+	for _, s := range w.sealed {
+		cut.covered = append(cut.covered, s.path)
+	}
+	if w.legacy != "" {
+		cut.covered = append(cut.covered, w.legacy)
+	}
+	w.smu.Unlock()
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// The snapshot covers what is on disk and applied — lastApplied, NOT
+	// db.seq: commits already holding a sequence number but still queued
+	// for the writer will be written after the cut, and a snapshot seq
+	// that included them would make recovery skip their records.
+	cut.seq = w.lastApplied
+	cut.tables = snapshotTablesLocked(db.tables)
+	db.mu.Unlock()
+	w.smu.Lock()
+	w.sealed = nil
+	w.sealedSize = 0
+	w.smu.Unlock()
+	if err := w.openSegment(db.path, w.nextIdx); err != nil {
+		return nil, db.fail(err)
+	}
+	return cut, nil
+}
+
+// restoreCovered puts a failed compaction's covered segments back on the
+// sealed list so a later compaction deletes them.
+func (db *DB) restoreCovered(cut *cutState) {
+	db.restoreSealed(cut.coveredSegs)
+}
+
+// restoreSealed prepends segments back onto the sealed list (oldest first),
+// e.g. after a failed snapshot or a failed covered-file removal.
+func (db *DB) restoreSealed(segs []sealedFile) {
+	if len(segs) == 0 {
+		return
+	}
+	w := db.wal
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	restored := make([]sealedFile, 0, len(segs)+len(w.sealed))
+	restored = append(restored, segs...)
+	restored = append(restored, w.sealed...)
+	w.sealed = restored
+	for _, s := range segs {
+		w.sealedSize += s.size
+	}
+}
