@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz check loadgen bench bench-experiments bench-contention clean
+# Fuzz budget per target; CI smoke uses the default, nightly passes 10m.
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet race race-full fuzz lint check loadgen bench bench-experiments bench-contention bench-quality bench-gate clean
 
 all: check
 
@@ -13,15 +16,27 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Concurrent store stress under the race detector (PR acceptance gate).
+# Concurrent stress under the race detector (PR acceptance gate): the store
+# and core suites plus the interned quality hot path and its parity
+# property tests (quality + rfd + vocab interner).
 race:
-	$(GO) test -race ./internal/store/... ./internal/core/...
+	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/...
 
-# Short fuzz smoke over WAL recovery: corrupted segments and snapshots must
-# never panic or resurrect deleted keys (CI runs the same budget).
+# Everything under the race detector (nightly).
+race-full:
+	$(GO) test -race ./...
+
+# Fuzz smoke over WAL recovery: corrupted segments and snapshots must never
+# panic or resurrect deleted keys. CI runs FUZZTIME=10s per target on PRs
+# and FUZZTIME=10m nightly.
 fuzz:
-	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s ./internal/store
-	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRecovery$$' -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRecovery$$' -fuzztime $(FUZZTIME) ./internal/store
+
+# Static analysis beyond vet (CI lint job; tools fetched on demand).
+lint:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@2023.1.7 && staticcheck ./...
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest && govulncheck ./...
 
 # The tier-1 verify plus vet — what CI runs.
 check: vet build test
@@ -42,6 +57,15 @@ bench-experiments:
 # Sharded-store contention matrix and project-fleet pool (S3/S4).
 bench-contention:
 	$(GO) run ./cmd/itag-bench -experiment s3,s4
+
+# Interned quality hot path vs map-path reference (S6), recorded to
+# BENCH_quality.json; fails if the 3x gate is missed.
+bench-quality:
+	$(GO) run ./cmd/itag-bench -experiment s6 -record
+
+# Re-check recorded BENCH_*.json artifacts against their committed gates.
+bench-gate:
+	./scripts/bench_gate.sh
 
 clean:
 	$(GO) clean ./...

@@ -179,6 +179,32 @@ func BenchmarkS5_StoreGroupCommit(b *testing.B) {
 	b.Log("\n" + res.Text())
 }
 
+// BenchmarkS6_QualityHotPath — systems: stability-quality evaluation
+// throughput through the interned tracker path vs the retained map-path
+// reference, identical pre-generated post stream (1k resources × 64
+// taggers at default sizes). The result table is recorded to
+// BENCH_quality.json; the interned path must reach >= 3x the map path (the
+// gate fails the benchmark).
+func BenchmarkS6_QualityHotPath(b *testing.B) {
+	sz := sizes(b)
+	var res bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.S6QualityHotPath(sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := res.WriteJSONFile("BENCH_quality.json"); err != nil {
+		b.Errorf("write BENCH_quality.json: %v", err)
+	}
+	for _, fail := range res.GateFailures() {
+		b.Error(fail)
+	}
+	b.Log("\n" + res.Text())
+}
+
 // BenchmarkS2_EngineThroughput — systems: end-to-end tasks/second through
 // engine + platform simulator + quality tracking.
 func BenchmarkS2_EngineThroughput(b *testing.B) {

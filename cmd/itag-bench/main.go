@@ -6,13 +6,23 @@
 //	itag-bench -experiment all                 # everything, default sizes
 //	itag-bench -experiment e1 -n 200 -budget 2000
 //	itag-bench -experiment e3 -format markdown -out e3.md
+//	itag-bench -experiment s3,s4,s5,s6 -small -record   # CI bench smoke
+//	itag-bench -verify-gates BENCH_store.json BENCH_quality.json
 //
-// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s5 (systems:
+// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s6 (systems:
 // store contention across shards, project-fleet pool, group-commit WAL
-// durability), all. See the experiment index in docs/ARCHITECTURE.md.
+// durability, interned quality hot path), all. See the experiment index in
+// docs/ARCHITECTURE.md.
+//
+// Gated experiments (s3, s5, s6) embed their acceptance ratios in the
+// result; -record writes each gated result to its canonical BENCH_*.json
+// artifact, and any failing gate makes the run exit non-zero.
+// -verify-gates re-checks previously recorded artifacts without rerunning
+// anything (scripts/bench_gate.sh uses it in CI).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,12 +47,20 @@ var experiments = map[string]func(bench.Sizes) (bench.Result, error){
 	"s3": bench.S3StoreContention,
 	"s4": bench.S4ProjectFleet,
 	"s5": bench.S5StoreGroupCommit,
+	"s6": bench.S6QualityHotPath,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6"}
+
+// recordFiles maps gated experiments to their canonical committed artifact.
+var recordFiles = map[string]string{
+	"s3": "BENCH_contention.json",
+	"s5": "BENCH_store.json",
+	"s6": "BENCH_quality.json",
+}
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s5, all)")
+	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s6, all)")
 	n := flag.Int("n", 0, "number of resources (0 = default)")
 	budget := flag.Int("budget", 0, "task budget (0 = default)")
 	taggers := flag.Int("taggers", 0, "tagger pool size (0 = default)")
@@ -51,7 +69,13 @@ func main() {
 	small := flag.Bool("small", false, "use quick-check sizes")
 	format := flag.String("format", "text", "output format: text | markdown")
 	out := flag.String("out", "", "write to file instead of stdout")
+	record := flag.Bool("record", false, "write gated results to their canonical BENCH_*.json artifacts")
+	verifyGates := flag.Bool("verify-gates", false, "check gates in the BENCH_*.json files given as arguments, run nothing")
 	flag.Parse()
+
+	if *verifyGates {
+		os.Exit(runVerifyGates(flag.Args()))
+	}
 
 	sz := bench.DefaultSizes()
 	if *small {
@@ -98,6 +122,7 @@ func main() {
 		w = f
 	}
 
+	var gateFailures []string
 	for _, id := range ids {
 		res, err := experiments[id](sz)
 		if err != nil {
@@ -109,5 +134,63 @@ func main() {
 		} else {
 			res.Fprint(w)
 		}
+		if *record {
+			if path, ok := recordFiles[id]; ok {
+				if err := res.WriteJSONFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "itag-bench: record %s: %v\n", path, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "itag-bench: recorded %s\n", path)
+			}
+		}
+		gateFailures = append(gateFailures, res.GateFailures()...)
 	}
+	for _, fail := range gateFailures {
+		fmt.Fprintf(os.Stderr, "itag-bench: GATE FAILED: %s\n", fail)
+	}
+	if len(gateFailures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runVerifyGates loads recorded results and re-checks their gates.
+func runVerifyGates(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "itag-bench: -verify-gates needs BENCH_*.json paths")
+		return 2
+	}
+	failed := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itag-bench: %v\n", err)
+			failed++
+			continue
+		}
+		var res bench.Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			fmt.Fprintf(os.Stderr, "itag-bench: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		if len(res.Gates) == 0 {
+			fmt.Fprintf(os.Stderr, "itag-bench: %s: no gates recorded (%s)\n", path, res.ID)
+			continue
+		}
+		fails := res.GateFailures()
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "itag-bench: %s: GATE FAILED: %s\n", path, f)
+		}
+		if len(fails) > 0 {
+			failed++
+			continue
+		}
+		for _, g := range res.Gates {
+			fmt.Printf("%s: %s gate %s ok: %.2fx >= %.2fx\n", path, res.ID, g.Name, g.Ratio, g.Min)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

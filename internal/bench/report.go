@@ -16,6 +16,32 @@ type Result struct {
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
 	Notes  []string   `json:"notes,omitempty"`
+	// Gates are the experiment's machine-checkable acceptance ratios. They
+	// are serialized into the BENCH_*.json artifacts so CI's bench-smoke job
+	// (scripts/bench_gate.sh) can fail a build whose measured ratio regresses
+	// below the committed minimum.
+	Gates []Gate `json:"gates,omitempty"`
+}
+
+// Gate is one acceptance criterion: a measured speedup ratio and the
+// committed minimum it must meet.
+type Gate struct {
+	Name  string  `json:"name"`
+	Ratio float64 `json:"ratio"`
+	Min   float64 `json:"min"`
+}
+
+// GateFailures returns a human-readable line per failing gate (empty when
+// all gates pass).
+func (r Result) GateFailures() []string {
+	var out []string
+	for _, g := range r.Gates {
+		if g.Ratio < g.Min {
+			out = append(out, fmt.Sprintf("%s: gate %s measured %.2fx, below committed minimum %.2fx",
+				r.ID, g.Name, g.Ratio, g.Min))
+		}
+	}
+	return out
 }
 
 // Markdown renders the result as a markdown table.

@@ -131,6 +131,7 @@ func S5StoreGroupCommit(sz Sizes) (Result, error) {
 			})
 		}
 	}
+	res.Gates = append(res.Gates, Gate{Name: "group_commit_64_vs_fsync_per_record", Ratio: gate64, Min: 2})
 	res.Notes = append(res.Notes,
 		"per-op work: one durable Put (SyncEvery=1) of a post-shaped record against a single WAL-backed DB",
 		fmt.Sprintf("group-commit mode uses a %s coalescing window; the baseline appends and fsyncs per record under the store lock", s5Window),

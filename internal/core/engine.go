@@ -16,9 +16,11 @@ import (
 	"itag/internal/crowd"
 	"itag/internal/dataset"
 	"itag/internal/quality"
+	"itag/internal/rfd"
 	"itag/internal/rng"
 	"itag/internal/strategy"
 	"itag/internal/users"
+	"itag/internal/vocab"
 )
 
 // ErrResourceExhausted is reported by replay post sources when a resource
@@ -77,6 +79,11 @@ type Config struct {
 	// RecordEvery controls monitor sampling: a point every N spent tasks
 	// (default: max(1, Budget/200)).
 	RecordEvery int
+	// Interner, when set, is the shared tag vocabulary the engine's quality
+	// trackers index by (one per service/world; nil = engine-private). Tag
+	// strings are translated back only at export boundaries (ResourceStatus,
+	// TopTags), so wire formats are unchanged.
+	Interner *vocab.Interner
 }
 
 func (c Config) validate() error {
@@ -113,10 +120,12 @@ type Engine struct {
 
 	resources []dataset.Resource
 	index     map[string]int
+	interner  *vocab.Interner
 	trackers  []*quality.Tracker
-	posts     []int // c_i + x_i (completed posts)
-	alloc     []int // x_i (tasks assigned)
-	pending   []int // manual tasks assigned but not yet submitted
+	refs      []*rfd.Ref // per-resource latent reference (nil without one)
+	posts     []int      // c_i + x_i (completed posts)
+	alloc     []int      // x_i (tasks assigned)
+	pending   []int      // manual tasks assigned but not yet submitted
 	promoted  []bool
 	stopped   []bool
 	exhausted []bool
@@ -153,13 +162,19 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	n := len(cfg.Resources)
+	in := cfg.Interner
+	if in == nil {
+		in = vocab.NewInterner()
+	}
 	e := &Engine{
 		cfg:       cfg,
 		r:         rng.New(cfg.Seed),
 		strategy:  cfg.Strategy,
 		resources: cfg.Resources,
 		index:     make(map[string]int, n),
+		interner:  in,
 		trackers:  make([]*quality.Tracker, n),
+		refs:      make([]*rfd.Ref, n),
 		posts:     make([]int, n),
 		alloc:     make([]int, n),
 		pending:   make([]int, n),
@@ -177,7 +192,10 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("core: duplicate resource ID %q", res.ID)
 		}
 		e.index[res.ID] = i
-		e.trackers[i] = quality.NewTracker(cfg.Quality)
+		e.trackers[i] = quality.NewTrackerShared(cfg.Quality, in)
+		if len(res.Latent) > 0 {
+			e.refs[i] = e.trackers[i].NewRef(res.Latent)
+		}
 	}
 	for id, posts := range cfg.SeedPosts {
 		i, ok := e.index[id]
@@ -389,12 +407,12 @@ func (e *Engine) record() {
 func (e *Engine) oracleLocked() ([]float64, bool) {
 	any := false
 	out := make([]float64, len(e.resources))
-	for i, res := range e.resources {
-		if len(res.Latent) == 0 {
+	for i := range e.resources {
+		if e.refs[i] == nil {
 			continue
 		}
 		any = true
-		out[i] = quality.Oracle(e.cfg.Quality.Metric, e.trackers[i].Dist(), res.Latent)
+		out[i] = quality.OracleRef(e.cfg.Quality.Metric, e.refs[i])
 	}
 	return out, any
 }
@@ -548,6 +566,10 @@ func (e *Engine) MeanOracle() float64 {
 // Monitor exposes the run telemetry.
 func (e *Engine) Monitor() *Monitor { return e.monitor }
 
+// Interner exposes the tag vocabulary the engine's trackers index by —
+// the config-shared interner, or the engine-private one built by New.
+func (e *Engine) Interner() *vocab.Interner { return e.interner }
+
 // ResourceStatus is a snapshot of one resource's run state (the
 // single-resource details screen, paper Fig. 6).
 type ResourceStatus struct {
@@ -591,8 +613,8 @@ func (e *Engine) Status(resourceID string) (ResourceStatus, error) {
 		Exhausted: e.exhausted[i],
 		Series:    e.trackers[i].Series(),
 	}
-	if len(e.resources[i].Latent) > 0 {
-		st.Oracle = quality.Oracle(e.cfg.Quality.Metric, e.trackers[i].Dist(), e.resources[i].Latent)
+	if e.refs[i] != nil {
+		st.Oracle = quality.OracleRef(e.cfg.Quality.Metric, e.refs[i])
 	}
 	for _, tf := range e.trackers[i].Counts().TopK(10) {
 		st.TopTags = append(st.TopTags, TagFreq{Tag: tf.Tag, Count: tf.Count, Freq: tf.Freq})

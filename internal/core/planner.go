@@ -9,6 +9,7 @@ import (
 	"itag/internal/rng"
 	"itag/internal/strategy"
 	"itag/internal/taggersim"
+	"itag/internal/vocab"
 )
 
 // This file implements the optimal allocation planner the demo compares
@@ -96,24 +97,31 @@ func EstimateGainTables(sim *taggersim.Simulator, resources []dataset.Resource,
 		return nil, fmt.Errorf("core: %d resources vs %d count sets", len(resources), len(current))
 	}
 	r := rng.New(cfg.Seed)
+	// One interner spans the whole plan: all resources share the world's
+	// vocabulary, and Monte-Carlo clones index by the same dense IDs.
+	in := vocab.NewInterner()
 	tables := make([]*quality.GainTable, len(resources))
 	for i, res := range resources {
+		interned := rfd.InternCounts(in, current[i])
 		mean := make([]float64, cfg.Horizon+1)
 		for s := 0; s < cfg.Samples; s++ {
-			counts := current[i].Clone()
+			counts := interned.Clone()
+			var ref *rfd.Ref
 			var tracker *quality.Tracker
 			if cfg.Stability {
-				tracker = quality.NewTracker(quality.Config{Metric: cfg.Metric, Window: cfg.StabilityWindow})
+				tracker = quality.NewTrackerShared(quality.Config{Metric: cfg.Metric, Window: cfg.StabilityWindow}, in)
 				// Warm the tracker with the existing posts' distribution:
 				// stability projection needs history; approximate by
 				// replaying the aggregate as one pseudo-history starting
 				// point (the tracker starts cold, matching a fresh run).
+			} else {
+				ref = rfd.NewRef(counts, res.Latent)
 			}
 			val := func() float64 {
 				if cfg.Stability {
 					return tracker.Quality()
 				}
-				return quality.Oracle(cfg.Metric, counts.Dist(), res.Latent)
+				return quality.OracleRef(cfg.Metric, ref)
 			}
 			mean[0] += val()
 			for x := 1; x <= cfg.Horizon; x++ {

@@ -16,6 +16,7 @@ import (
 	"itag/internal/strategy"
 	"itag/internal/taggersim"
 	"itag/internal/users"
+	"itag/internal/vocab"
 )
 
 // Service is the top of the iTag system (paper Fig. 2): it composes the
@@ -33,6 +34,7 @@ type Service struct {
 	cat     *store.Catalog
 	um      *users.Manager
 	ledger  *crowd.Ledger
+	intern  *vocab.Interner // shared tag vocabulary across all project runs
 	runs    map[string]*Run
 	nextID  int
 	seed    int64
@@ -71,6 +73,7 @@ func NewService(cat *store.Catalog, seed int64) *Service {
 		cat:        cat,
 		um:         users.NewManager(),
 		ledger:     crowd.NewLedger(),
+		intern:     vocab.NewInterner(),
 		runs:       make(map[string]*Run),
 		seed:       seed,
 		nowFunc:    func() time.Time { return time.Now().UTC() },
@@ -255,6 +258,7 @@ func (s *Service) buildRun(projectID string, spec ProjectSpec, resources []datas
 		PayPerTask: spec.PayPerTask,
 		ProviderID: spec.ProviderID,
 		Seed:       seed,
+		Interner:   s.intern,
 		OnPost: func(resourceID, taggerID string, tags []string) {
 			_, _ = s.cat.AppendPost(store.PostRec{
 				ResourceID: resourceID, TaggerID: taggerID,
@@ -268,7 +272,7 @@ func (s *Service) buildRun(projectID string, spec ProjectSpec, resources []datas
 			return nil, err
 		}
 		run.Pop = pop
-		sim := taggersim.NewSimulator(world)
+		sim := taggersim.NewSimulator(world).UseInterner(s.intern)
 		qualify := func(w string) bool { return s.um.Qualified(w, 0.5, 10) }
 		var plat crowd.Platform
 		var perr error

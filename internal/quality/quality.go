@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"itag/internal/rfd"
+	"itag/internal/vocab"
 )
 
 // Metric selects the similarity measure used to compare two rfds. All
@@ -141,22 +142,45 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Tracker maintains one resource's rfd history and its stability-quality
-// series. It is not safe for concurrent use; callers synchronize.
-type Tracker struct {
-	cfg    Config
-	hist   *rfd.History
-	series []float64 // stability quality after each post
-}
-
-// NewTracker returns a Tracker with the (defaulted) config.
-func NewTracker(cfg Config) *Tracker {
-	cfg = cfg.withDefaults()
+// historyDepth is the snapshot retention both tracker implementations use.
+func historyDepth(cfg Config) int {
 	depth := cfg.Window + 1
 	if depth < rfd.DefaultHistoryDepth {
 		depth = rfd.DefaultHistoryDepth
 	}
-	return &Tracker{cfg: cfg, hist: rfd.NewHistory(depth)}
+	return depth
+}
+
+// Tracker maintains one resource's rfd history and its stability-quality
+// series on the interned hot path: tags become dense IDs through a shared
+// interner, counts live in an ID-indexed vector with incrementally
+// maintained norms, and the snapshot window is a copy-free delta ring — so
+// each AddPost updates the quality in O(tags-in-window) for cosine (one
+// array pass over the resource's support for the shape metrics) instead of
+// cloning and re-walking string-keyed maps. Semantics are identical to the
+// retained MapTracker reference (see the parity property tests).
+//
+// It is not safe for concurrent use; callers synchronize.
+type Tracker struct {
+	cfg    Config
+	hist   *rfd.IHistory
+	series []float64 // stability quality after each post
+}
+
+// NewTracker returns a Tracker with the (defaulted) config and a private
+// interner. Engines and other multi-resource callers should share one
+// interner across trackers via NewTrackerShared.
+func NewTracker(cfg Config) *Tracker {
+	return NewTrackerShared(cfg, vocab.NewInterner())
+}
+
+// NewTrackerShared returns a Tracker interning tags through in — the
+// per-project (or wider) shared vocabulary. The history maintains the
+// tracker's sliding comparison window incrementally, so the steady-state
+// quality update costs O(tags-in-post).
+func NewTrackerShared(cfg Config, in rfd.Interner) *Tracker {
+	cfg = cfg.withDefaults()
+	return &Tracker{cfg: cfg, hist: rfd.NewIHistoryWindow(in, historyDepth(cfg), cfg.Window)}
 }
 
 // AddPost records a post and appends the new quality to the series.
@@ -177,16 +201,35 @@ func (t *Tracker) compute() float64 {
 	if w > k-1 {
 		w = k - 1
 	}
-	prev, ok := t.hist.Back(w)
-	if !ok {
-		// Window exceeds retained depth; fall back to deepest retained.
-		d := t.hist.Depth() - 1
-		if d < 1 {
-			return 0
-		}
-		prev, _ = t.hist.Back(d)
+	if v, ok := t.cfg.Metric.windowSimilarity(t.hist, w); ok {
+		return v
 	}
-	return t.cfg.Metric.Similarity(t.hist.Current(), prev)
+	// Window exceeds retained depth; fall back to deepest retained.
+	d := t.hist.Depth() - 1
+	if d < 1 {
+		return 0
+	}
+	v, _ := t.cfg.Metric.windowSimilarity(t.hist, d)
+	return v
+}
+
+// windowSimilarity maps the metric onto IHistory's incremental window
+// comparisons, applying the same [0,1] transforms as Similarity.
+func (m Metric) windowSimilarity(h *rfd.IHistory, back int) (float64, bool) {
+	switch m {
+	case MetricJSD:
+		v, ok := h.WindowJSD(back)
+		return clamp01(1 - v/math.Ln2), ok
+	case MetricL1:
+		v, ok := h.WindowL1(back)
+		return clamp01(1 - v/2), ok
+	case MetricHellinger:
+		v, ok := h.WindowHellinger(back)
+		return clamp01(1 - v), ok
+	default:
+		v, ok := h.WindowCosine(back)
+		return clamp01(v), ok
+	}
 }
 
 // Quality returns the current stability quality in [0, 1].
@@ -203,11 +246,18 @@ func (t *Tracker) Instability() float64 { return 1 - t.Quality() }
 // Posts returns how many posts have been recorded.
 func (t *Tracker) Posts() int { return t.hist.Posts() }
 
-// Dist returns the current rfd (copy).
-func (t *Tracker) Dist() rfd.Dist { return t.hist.Current() }
+// Dist returns the current rfd as a string-keyed map (boundary copy).
+func (t *Tracker) Dist() rfd.Dist { return t.hist.Counts().Dist() }
 
-// Counts exposes the raw tag counts (for UIs/exports; treat as read-only).
-func (t *Tracker) Counts() *rfd.Counts { return t.hist.Counts() }
+// Counts exposes the interned tag counts (for UIs/exports; treat as
+// read-only). Tag strings are resolved at this boundary (TopK, Dist).
+func (t *Tracker) Counts() *rfd.ICounts { return t.hist.Counts() }
+
+// NewRef binds a reference distribution to this tracker's counts for fast
+// repeated oracle evaluation (see OracleRef).
+func (t *Tracker) NewRef(ref rfd.Dist) *rfd.Ref {
+	return rfd.NewRef(t.hist.Counts(), ref)
+}
 
 // Series returns the quality value after each post (copy).
 func (t *Tracker) Series() []float64 {
@@ -222,13 +272,17 @@ func (t *Tracker) Config() Config { return t.cfg }
 // Converged reports whether the last `span` quality values are all at least
 // tau. It is the Quality Manager's stopping criterion for a resource.
 func (t *Tracker) Converged(tau float64, span int) bool {
+	return converged(t.series, tau, span)
+}
+
+func converged(series []float64, tau float64, span int) bool {
 	if span <= 0 {
 		span = 3
 	}
-	if len(t.series) < span {
+	if len(series) < span {
 		return false
 	}
-	for _, q := range t.series[len(t.series)-span:] {
+	for _, q := range series[len(series)-span:] {
 		if q < tau {
 			return false
 		}
@@ -241,6 +295,25 @@ func (t *Tracker) Converged(tau float64, span int) bool {
 // allocator, never by live strategies (the reference is latent).
 func Oracle(m Metric, current, reference rfd.Dist) float64 {
 	return m.Similarity(current, reference)
+}
+
+// OracleRef is Oracle on the interned hot path: the reference was bound to
+// an ICounts once (Tracker.NewRef / rfd.NewRef) and every evaluation is a
+// single array pass instead of two map walks.
+func OracleRef(m Metric, r *rfd.Ref) float64 {
+	if r.BothEmpty() {
+		return 0
+	}
+	switch m {
+	case MetricJSD:
+		return clamp01(1 - r.JSD()/math.Ln2)
+	case MetricL1:
+		return clamp01(1 - r.L1()/2)
+	case MetricHellinger:
+		return clamp01(1 - r.Hellinger())
+	default:
+		return clamp01(r.Cosine())
+	}
 }
 
 // MeanQuality returns the average of per-resource qualities — the paper's

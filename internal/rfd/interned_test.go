@@ -1,0 +1,323 @@
+package rfd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// testInterner is a minimal Interner for package-local tests (the real one
+// lives in vocab, which imports rfd).
+type testInterner struct {
+	ids  map[string]uint32
+	tags []string
+}
+
+func newTestInterner() *testInterner {
+	return &testInterner{ids: make(map[string]uint32)}
+}
+
+func (in *testInterner) ID(tag string) uint32 {
+	if id, ok := in.ids[tag]; ok {
+		return id
+	}
+	id := uint32(len(in.tags))
+	in.ids[tag] = id
+	in.tags = append(in.tags, tag)
+	return id
+}
+
+func (in *testInterner) Lookup(tag string) (uint32, bool) {
+	id, ok := in.ids[tag]
+	return id, ok
+}
+
+func (in *testInterner) Tag(id uint32) string {
+	if int(id) >= len(in.tags) {
+		return ""
+	}
+	return in.tags[id]
+}
+
+func (in *testInterner) Len() int { return len(in.tags) }
+
+func randomPost(r *rand.Rand, pool []string) []string {
+	n := 1 + r.Intn(5)
+	post := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		post = append(post, pool[r.Intn(len(pool))]) // duplicates likely
+	}
+	return post
+}
+
+func testPool() []string {
+	return []string{
+		"go", "Go", "  go  ", "database", "tagging", "web", "toread",
+		"design", "paper", "icde", "crowd", "quality", "rfd", "stability",
+		"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+	}
+}
+
+func TestICountsMatchesCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pool := testPool()
+	in := newTestInterner()
+	ic := NewICounts(in)
+	mc := NewCounts()
+	for p := 0; p < 200; p++ {
+		post := randomPost(r, pool)
+		e1, e2 := ic.AddPost(post), mc.AddPost(post)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("post %d: interned err %v vs map err %v", p, e1, e2)
+		}
+	}
+	if ic.Posts() != mc.Posts() || ic.Total() != mc.Total() || ic.Distinct() != mc.Distinct() {
+		t.Fatalf("counters diverge: %d/%d/%d vs %d/%d/%d",
+			ic.Posts(), ic.Total(), ic.Distinct(), mc.Posts(), mc.Total(), mc.Distinct())
+	}
+	for _, tag := range pool {
+		if ic.Count(tag) != mc.Count(tag) {
+			t.Errorf("Count(%q) = %d vs %d", tag, ic.Count(tag), mc.Count(tag))
+		}
+	}
+	di, dm := ic.Dist(), mc.Dist()
+	if len(di) != len(dm) {
+		t.Fatalf("dist sizes %d vs %d", len(di), len(dm))
+	}
+	for tag, v := range dm {
+		if math.Abs(di[tag]-v) > 1e-15 {
+			t.Errorf("dist[%q] = %v vs %v", tag, di[tag], v)
+		}
+	}
+	if !reflect.DeepEqual(ic.TopK(8), mc.TopK(8)) {
+		t.Errorf("TopK diverges:\n%v\n%v", ic.TopK(8), mc.TopK(8))
+	}
+	// NormSq is exactly Σ n².
+	var want float64
+	for _, tf := range mc.TopK(1 << 20) {
+		want += float64(tf.Count) * float64(tf.Count)
+	}
+	if ic.NormSq() != want {
+		t.Errorf("NormSq = %v, want %v", ic.NormSq(), want)
+	}
+}
+
+func TestICountsErrorsMatchCounts(t *testing.T) {
+	in := newTestInterner()
+	ic := NewICounts(in)
+	if err := ic.AddPost(nil); err == nil {
+		t.Error("empty post must error")
+	}
+	if err := ic.AddPost([]string{"  ", ""}); err == nil {
+		t.Error("all-blank post must error")
+	}
+	if ic.Posts() != 0 || ic.Total() != 0 {
+		t.Errorf("failed posts must not count: posts=%d total=%d", ic.Posts(), ic.Total())
+	}
+	if err := ic.AddPost([]string{"x", "X", " x "}); err != nil {
+		t.Fatal(err)
+	}
+	if ic.Total() != 1 {
+		t.Errorf("in-post duplicates must collapse: total=%d", ic.Total())
+	}
+}
+
+func TestICountsCloneIsIndependent(t *testing.T) {
+	in := newTestInterner()
+	ic := NewICounts(in)
+	if err := ic.AddPost([]string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	cl := ic.Clone()
+	if err := cl.AddPost([]string{"z"}); err != nil {
+		t.Fatal(err)
+	}
+	if ic.Distinct() != 2 || cl.Distinct() != 3 {
+		t.Errorf("clone not independent: %d vs %d", ic.Distinct(), cl.Distinct())
+	}
+	if ic.Posts() != 1 || cl.Posts() != 2 {
+		t.Errorf("posts: %d vs %d", ic.Posts(), cl.Posts())
+	}
+}
+
+func TestInternCounts(t *testing.T) {
+	mc := NewCounts()
+	for _, post := range [][]string{{"a", "b"}, {"a"}, {"c", "a"}} {
+		if err := mc.AddPost(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ic := InternCounts(newTestInterner(), mc)
+	if ic.Posts() != 3 || ic.Total() != 5 || ic.Distinct() != 3 {
+		t.Fatalf("interned: posts=%d total=%d distinct=%d", ic.Posts(), ic.Total(), ic.Distinct())
+	}
+	if ic.NormSq() != 9+1+1 {
+		t.Errorf("NormSq = %v", ic.NormSq())
+	}
+	if !reflect.DeepEqual(ic.Dist(), mc.Dist()) {
+		t.Errorf("dist diverges: %v vs %v", ic.Dist(), mc.Dist())
+	}
+}
+
+// TestIHistoryWindowsMatchHistory drives an IHistory and a map-path History
+// with the same stream and asserts every retained window comparison agrees
+// with computing the metric on materialized Dists.
+func TestIHistoryWindowsMatchHistory(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pool := testPool()
+	const depth = 8
+	const maintained = 5 // sliding width for the incrementally maintained history
+	ih := NewIHistory(newTestInterner(), depth)
+	iw := NewIHistoryWindow(newTestInterner(), depth, maintained)
+	mh := NewHistory(depth)
+	for p := 0; p < 120; p++ {
+		post := randomPost(r, pool)
+		if err := ih.AddPost(post); err != nil {
+			if err2 := mh.AddPost(post); err2 == nil {
+				t.Fatalf("post %d: interned errored, map did not", p)
+			}
+			continue
+		}
+		if err := iw.AddPost(post); err != nil {
+			t.Fatalf("post %d: windowed interned errored: %v", p, err)
+		}
+		if err := mh.AddPost(post); err != nil {
+			t.Fatalf("post %d: map errored after interned succeeded: %v", p, err)
+		}
+		// The maintained sliding window must agree with the map path at its
+		// own width w = min(posts−1, maintained).
+		w := mh.Posts() - 1
+		if w > maintained {
+			w = maintained
+		}
+		if prev, ok := mh.Back(w); ok {
+			cur := mh.Current()
+			if cos, ok := iw.WindowCosine(w); !ok || math.Abs(cos-Cosine(cur, prev)) > 1e-12 {
+				t.Fatalf("post %d: maintained cosine(w=%d) = %v ok=%v, map %v", p, w, cos, ok, Cosine(cur, prev))
+			}
+			if jsd, ok := iw.WindowJSD(w); !ok || math.Abs(jsd-JSD(cur, prev)) > 1e-12 {
+				t.Fatalf("post %d: maintained jsd(w=%d) = %v ok=%v, map %v", p, w, jsd, ok, JSD(cur, prev))
+			}
+		}
+		// Off-width queries on the maintained history take the rebuild path
+		// and must agree too.
+		if w > 1 {
+			if prev, ok := mh.Back(w - 1); ok {
+				if cos, ok2 := iw.WindowCosine(w - 1); !ok2 || math.Abs(cos-Cosine(mh.Current(), prev)) > 1e-12 {
+					t.Fatalf("post %d: off-width cosine diverges (%v, ok=%v)", p, cos, ok2)
+				}
+			}
+		}
+		if ih.Posts() != mh.Posts() || ih.Depth() != mh.Depth() {
+			t.Fatalf("post %d: posts/depth diverge", p)
+		}
+		for back := 0; back <= depth+1; back++ {
+			prev, ok := mh.Back(back)
+			cos, iok := ih.WindowCosine(back)
+			if ok != iok {
+				t.Fatalf("post %d back %d: retention disagrees (map %v, interned %v)", p, back, ok, iok)
+			}
+			if !ok {
+				continue
+			}
+			cur := mh.Current()
+			checks := []struct {
+				name      string
+				got, want float64
+			}{
+				{"cosine", cos, Cosine(cur, prev)},
+			}
+			if l1, ok := ih.WindowL1(back); ok {
+				checks = append(checks, struct {
+					name      string
+					got, want float64
+				}{"l1", l1, L1(cur, prev)})
+			}
+			if kl, ok := ih.WindowKL(back); ok {
+				checks = append(checks, struct {
+					name      string
+					got, want float64
+				}{"kl", kl, KL(cur, prev)})
+			}
+			if jsd, ok := ih.WindowJSD(back); ok {
+				checks = append(checks, struct {
+					name      string
+					got, want float64
+				}{"jsd", jsd, JSD(cur, prev)})
+			}
+			if hel, ok := ih.WindowHellinger(back); ok {
+				checks = append(checks, struct {
+					name      string
+					got, want float64
+				}{"hellinger", hel, Hellinger(cur, prev)})
+			}
+			for _, c := range checks {
+				if math.Abs(c.got-c.want) > 1e-12 {
+					t.Fatalf("post %d back %d: %s = %.17g, map path %.17g", p, back, c.name, c.got, c.want)
+				}
+			}
+			bd, _ := ih.BackDist(back)
+			if len(bd) != len(prev) {
+				t.Fatalf("post %d back %d: BackDist support %d vs %d", p, back, len(bd), len(prev))
+			}
+			for tag, v := range prev {
+				if math.Abs(bd[tag]-v) > 1e-15 {
+					t.Fatalf("post %d back %d: BackDist[%q] = %v vs %v", p, back, tag, bd[tag], v)
+				}
+			}
+		}
+	}
+}
+
+// TestRefMatchesMapMetrics compares every Ref metric against the map-path
+// function on materialized distributions as the accumulator grows.
+func TestRefMatchesMapMetrics(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pool := testPool()
+	// Reference overlaps the pool partially and has tags never posted.
+	ref := Dist{"go": 0.3, "database": 0.2, "web": 0.1, "neverposted": 0.25, "alpha": 0.15}
+	in := newTestInterner()
+	ic := NewICounts(in)
+	rf := NewRef(ic, ref)
+
+	check := func(stage string) {
+		t.Helper()
+		cur := ic.Dist()
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"cosine", rf.Cosine(), Cosine(cur, ref)},
+			{"l1", rf.L1(), L1(cur, ref)},
+			{"kl", rf.KL(), KL(cur, ref)},
+			{"jsd", rf.JSD(), JSD(cur, ref)},
+			{"hellinger", rf.Hellinger(), Hellinger(cur, ref)},
+		} {
+			if math.Abs(c.got-c.want) > 1e-12 {
+				t.Fatalf("%s: %s = %.17g, map path %.17g", stage, c.name, c.got, c.want)
+			}
+		}
+	}
+	check("empty accumulator")
+	for p := 0; p < 150; p++ {
+		if err := ic.AddPost(randomPost(r, pool)); err != nil {
+			t.Fatal(err)
+		}
+		if p%10 == 0 {
+			check("growing")
+		}
+	}
+	check("final")
+}
+
+func TestRefBothEmpty(t *testing.T) {
+	ic := NewICounts(newTestInterner())
+	rf := NewRef(ic, Dist{})
+	if !rf.BothEmpty() {
+		t.Error("empty counts + empty ref must be BothEmpty")
+	}
+	if rf.Cosine() != 0 {
+		t.Error("empty cosine must be 0")
+	}
+}

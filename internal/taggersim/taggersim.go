@@ -237,16 +237,24 @@ func (s *latentSampler) sample(r *rand.Rand) string {
 	return s.tags[i]
 }
 
+// samplerKey identifies one resource's tempered sampler without the
+// fmt.Sprintf allocation the old string key paid on every post.
+type samplerKey struct {
+	resourceID string
+	bias       float64
+}
+
 // Simulator produces posts for resources, holding per-resource samplers.
 // It is safe for concurrent use (engines pooled by core.Pool share one
 // Simulator); samplers are immutable once built, so only the cache map
 // needs the lock.
 type Simulator struct {
-	world *dataset.World
-	byID  map[string]int
+	world  *dataset.World
+	byID   map[string]int
+	intern *vocab.Interner // optional: canonicalize produced tag strings
 
 	mu       sync.RWMutex
-	samplers map[string]*latentSampler // key: resourceID|bias
+	samplers map[samplerKey]*latentSampler
 }
 
 // NewSimulator builds a Simulator over a generated world.
@@ -254,8 +262,17 @@ func NewSimulator(world *dataset.World) *Simulator {
 	return &Simulator{
 		world:    world,
 		byID:     world.Dataset.Index(),
-		samplers: make(map[string]*latentSampler),
+		samplers: make(map[samplerKey]*latentSampler),
 	}
+}
+
+// UseInterner routes every produced tag through in.Canon, so repeated tags
+// (including repeated typos) share one canonical string instance with the
+// quality trackers consuming the posts. Call before first use; it does not
+// change which tags are produced, only their backing storage.
+func (s *Simulator) UseInterner(in *vocab.Interner) *Simulator {
+	s.intern = in
+	return s
 }
 
 // GeneratePost produces one post by profile `prof` for the resource. The
@@ -266,7 +283,7 @@ func (s *Simulator) GeneratePost(r *rand.Rand, prof *Profile, resourceID string)
 		return nil, fmt.Errorf("taggersim: unknown resource %q", resourceID)
 	}
 	res := &s.world.Dataset.Resources[i]
-	key := fmt.Sprintf("%s|%.3f", resourceID, prof.AspectBias)
+	key := samplerKey{resourceID: resourceID, bias: prof.AspectBias}
 	s.mu.RLock()
 	ls, ok := s.samplers[key]
 	s.mu.RUnlock()
@@ -280,7 +297,6 @@ func (s *Simulator) GeneratePost(r *rand.Rand, prof *Profile, resourceID string)
 	}
 
 	n := rng.BoundedNormal(r, prof.MeanTags, 1.0, 1, 8)
-	set := make(map[string]struct{}, n)
 	tags := make([]string, 0, n)
 	for attempts := 0; len(tags) < n && attempts < n*4; attempts++ {
 		var tag string
@@ -295,10 +311,21 @@ func (s *Simulator) GeneratePost(r *rand.Rand, prof *Profile, resourceID string)
 		if tag == "" {
 			continue
 		}
-		if _, dup := set[tag]; dup {
+		if s.intern != nil {
+			tag = s.intern.Canon(tag)
+		}
+		// Posts carry a handful of tags; a linear scan dedups without the
+		// per-post set allocation.
+		dup := false
+		for _, t := range tags {
+			if t == tag {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		set[tag] = struct{}{}
 		tags = append(tags, tag)
 	}
 	if len(tags) == 0 { // degenerate profile; guarantee nonempty post

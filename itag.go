@@ -49,6 +49,7 @@ import (
 	"itag/internal/strategy"
 	"itag/internal/taggersim"
 	"itag/internal/users"
+	"itag/internal/vocab"
 )
 
 // Core engine and service surface.
@@ -136,9 +137,16 @@ type (
 	QualityConfig = quality.Config
 	// QualityMetric selects the rfd similarity measure.
 	QualityMetric = quality.Metric
-	// QualityTracker maintains one resource's quality series.
+	// QualityTracker maintains one resource's quality series (interned hot
+	// path; see TagInterner).
 	QualityTracker = quality.Tracker
+	// TagInterner maps tag strings to dense IDs; share one across engines
+	// (EngineConfig.Interner) so their trackers index a common vocabulary.
+	TagInterner = vocab.Interner
 )
+
+// NewTagInterner returns an empty concurrency-safe tag interner.
+func NewTagInterner() *TagInterner { return vocab.NewInterner() }
 
 // Storage surface.
 type (
