@@ -3,7 +3,7 @@ GO ?= go
 # Fuzz budget per target; CI smoke uses the default, nightly passes 10m.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-full fuzz lint check loadgen bench bench-experiments bench-contention bench-quality bench-gate clean
+.PHONY: all build test vet race race-full fuzz lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-gate clean
 
 all: check
 
@@ -62,6 +62,11 @@ bench-contention:
 # BENCH_quality.json; fails if the 3x gate is missed.
 bench-quality:
 	$(GO) run ./cmd/itag-bench -experiment s6 -record
+
+# Ordered snapshot serving read path vs the seed iterate-filter-sort path
+# (S7), recorded to BENCH_serving.json; fails if the 3x gate is missed.
+bench-serving:
+	$(GO) run ./cmd/itag-bench -experiment s7 -record
 
 # Re-check recorded BENCH_*.json artifacts against their committed gates.
 bench-gate:

@@ -143,9 +143,10 @@ func BenchmarkS1_StoreRecovery(b *testing.B) {
 }
 
 // BenchmarkS3_StoreContention — systems: catalog throughput for every cell
-// of the 1/4/16-shard × 1/8/64-tagger matrix (append-post + read-back).
-// The logged speedup column must show the 16-shard store ≥ 2× the 1-shard
-// store at 64 concurrent taggers.
+// of the 1/4/16-shard × 1/8/64-tagger matrix (append-post + read-back) on
+// the indexed read path, plus the seed-read-path 64-tagger cells that
+// carry the committed sharding gate: 16 shards ≥ 2× the 1-shard store on
+// the contended (locked-scan) configuration.
 func BenchmarkS3_StoreContention(b *testing.B) { runExperiment(b, bench.S3StoreContention) }
 
 // BenchmarkS4_ProjectFleet — systems: a fleet of simulated projects driven
@@ -198,6 +199,32 @@ func BenchmarkS6_QualityHotPath(b *testing.B) {
 	b.StopTimer()
 	if err := res.WriteJSONFile("BENCH_quality.json"); err != nil {
 		b.Errorf("write BENCH_quality.json: %v", err)
+	}
+	for _, fail := range res.GateFailures() {
+		b.Error(fail)
+	}
+	b.Log("\n" + res.Text())
+}
+
+// BenchmarkS7_ServingReadPath — systems: end-to-end serving throughput of
+// the mixed RequestTask/SubmitTask/ResourceDetail/Export workload through
+// the ordered snapshot read path (copy-on-write table indexes + decoded-
+// record cache) vs the seed iterate-filter-sort read path. The result
+// table is recorded to BENCH_serving.json; the indexed path must reach
+// >= 3x the seed path (the gate fails the benchmark).
+func BenchmarkS7_ServingReadPath(b *testing.B) {
+	sz := sizes(b)
+	var res bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.S7ServingReadPath(sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := res.WriteJSONFile("BENCH_serving.json"); err != nil {
+		b.Errorf("write BENCH_serving.json: %v", err)
 	}
 	for _, fail := range res.GateFailures() {
 		b.Error(fail)

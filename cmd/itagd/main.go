@@ -7,7 +7,7 @@
 //
 //	itagd [-addr :8080] [-db itag.wal] [-shards 1] [-seed 42]
 //	      [-sync-every 1] [-group-commit 0] [-segment-bytes 4194304]
-//	      [-auto-compact 67108864]
+//	      [-auto-compact 67108864] [-debug-addr ""]
 //	      [-write-timeout 60s] [-route-timeout 30s] [-grace 30s]
 //
 // With -db "" the store is in-memory (state lost on exit). With -shards N
@@ -25,6 +25,13 @@
 // rotation; -auto-compact snapshots the store in the background whenever
 // sealed WAL bytes exceed the threshold, keeping recovery time flat.
 //
+// With -debug-addr a second listener (never exposed through the API
+// address) serves net/http/pprof under /debug/pprof/ and expvar under
+// /debug/vars, so a live daemon can be profiled while it serves traffic:
+//
+//	itagd -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=15
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, waits up to -grace for live simulation runs to drain, ends
 // open SSE streams, and flushes the store.
@@ -33,11 +40,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +67,7 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", store.DefaultSegmentBytes, "rotate WAL segments beyond this size (negative disables rotation)")
 	autoCompact := flag.Int64("auto-compact", 64<<20, "background-snapshot the store when sealed WAL bytes exceed this (0 disables)")
 	quiet := flag.Bool("quiet", false, "disable request logging")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this address (separate listener; empty disables)")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
 	routeTimeout := flag.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
@@ -99,6 +109,31 @@ func main() {
 		db = wal
 	}
 	defer db.Close()
+
+	// The debug listener is deliberately separate from the API listener so
+	// profiling endpoints are never reachable through the public address and
+	// a heavy profile capture cannot be throttled by API middleware.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		dbg = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Printf("debug listener on %s (pprof, expvar)", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	svc := core.NewService(store.NewCatalog(db), *seed)
 	defer svc.Close()
@@ -155,6 +190,13 @@ func main() {
 		}
 		if err := db.Sync(); err != nil {
 			logger.Printf("store sync: %v", err)
+		}
+		// Drain the debug listener last so an in-flight profile capture can
+		// observe the shutdown itself, within the same grace budget.
+		if dbg != nil {
+			if err := dbg.Shutdown(drainCtx); err != nil {
+				logger.Printf("debug listener shutdown: %v", err)
+			}
 		}
 	}()
 

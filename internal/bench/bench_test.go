@@ -270,13 +270,21 @@ func TestS3StoreContentionShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != len(s3Shards)*len(s3Taggers) {
-		t.Fatalf("S3 produced %d rows, want %d", len(res.Rows), len(s3Shards)*len(s3Taggers))
+	// The full indexed matrix plus the two gated seed-read-path cells.
+	if want := len(s3Shards)*len(s3Taggers) + 2; len(res.Rows) != want {
+		t.Fatalf("S3 produced %d rows, want %d", len(res.Rows), want)
 	}
+	seedRows := 0
 	for _, row := range res.Rows {
-		if ops := parseF(t, row[3]); ops <= 0 {
+		if ops := parseF(t, row[4]); ops <= 0 {
 			t.Fatalf("cell %v reports non-positive throughput", row)
 		}
+		if row[0] == "seed (locked scans)" {
+			seedRows++
+		}
+	}
+	if seedRows != 2 {
+		t.Fatalf("S3 produced %d seed-path rows, want 2", seedRows)
 	}
 }
 

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"itag/internal/core"
+	"itag/internal/dataset"
+	"itag/internal/store"
+)
+
+// This file holds the S7 end-to-end serving experiment behind the ordered
+// snapshot read path (copy-on-write table indexes + the catalog's decoded-
+// record cache): the interactive loop of paper §III is read-dominated —
+// every RequestTask/SubmitTask round trip and every provider dashboard or
+// export hits the store — so S7 drives the full Service stack with a mixed
+// tagger + dashboard workload and gates the indexed read path at ≥3× the
+// seed read path (PlainReads iterate-filter-sort scans, uncached decodes).
+
+// s7Dims sizes the serving world: the acceptance configuration is 64
+// taggers over 1k resources × 10k seeded posts.
+type s7Dims struct {
+	resources, postsPer, taggers, opsPer int
+}
+
+func s7Sizes(sz Sizes) s7Dims {
+	if sz.N <= SmallSizes().N {
+		return s7Dims{resources: 250, postsPer: 8, taggers: 16, opsPer: 48}
+	}
+	return s7Dims{resources: 1000, postsPer: 10, taggers: 64, opsPer: 96}
+}
+
+// s7Mode is one read-path configuration under test.
+type s7Mode struct {
+	name    string
+	shards  int  // 0 = single in-memory DB
+	indexed bool // false = PlainReads store + uncached catalog (the seed path)
+}
+
+func s7Modes() []s7Mode {
+	return []s7Mode{
+		// The pre-index baseline: every prefix scan iterates, filters and
+		// sorts the whole table under the store's RWMutex, and every read
+		// pays a JSON decode.
+		{name: "seed read path", indexed: false},
+		// The snapshot read path: lock-free ordered index + decoded-record
+		// cache.
+		{name: "indexed", indexed: true},
+		// The same read path over a sharded store — exercises the ordered
+		// cross-shard k-way merge on exports (informational, not gated).
+		{name: "indexed, 8 shards", shards: 8, indexed: true},
+	}
+}
+
+// s7World is one fully provisioned serving stack.
+type s7World struct {
+	svc     *core.Service
+	cat     *store.Catalog
+	project string
+	taggers []string
+}
+
+// s7Setup provisions a service over the mode's store: one manual project
+// with dims.resources uploaded resources, dims.postsPer seeded posts each,
+// and a registered tagger fleet. Setup cost is paid before the clock
+// starts.
+func s7Setup(mode s7Mode, dims s7Dims, seed int64) (*s7World, error) {
+	var db store.Store
+	switch {
+	case mode.shards > 1:
+		db = store.NewSharded(mode.shards)
+	case mode.indexed:
+		db = store.OpenMemory()
+	default:
+		db = store.OpenMemoryWith(store.Options{PlainReads: true})
+	}
+	var cat *store.Catalog
+	if mode.indexed {
+		cat = store.NewCatalog(db)
+	} else {
+		cat = store.NewCatalogUncached(db)
+	}
+	svc := core.NewService(cat, seed)
+	ctx := context.Background()
+	provider, err := svc.RegisterProvider(ctx, "s7-provider")
+	if err != nil {
+		return nil, err
+	}
+	w := &s7World{svc: svc, cat: cat, taggers: make([]string, dims.taggers)}
+	for i := range w.taggers {
+		if w.taggers[i], err = svc.RegisterTagger(ctx, fmt.Sprintf("s7-tagger-%03d", i)); err != nil {
+			return nil, err
+		}
+	}
+	resources := make([]dataset.Resource, dims.resources)
+	seeds := make(map[string][][]string, dims.resources)
+	for i := range resources {
+		id := fmt.Sprintf("res-%04d", i)
+		resources[i] = dataset.Resource{ID: id, Name: id, Popularity: 1}
+		posts := make([][]string, dims.postsPer)
+		for p := range posts {
+			posts[p] = []string{"go", fmt.Sprintf("topic-%d", i%13), fmt.Sprintf("tag-%d", (i+p)%29)}
+		}
+		seeds[id] = posts
+	}
+	// Budget well above what the workload spends: the engine's monitor
+	// samples every Budget/200 spent tasks, and S7 times the serving path,
+	// not the sampling.
+	w.project, err = svc.CreateProject(ctx, core.ProjectSpec{
+		ProviderID: provider, Name: "s7-serving",
+		Budget: dims.taggers * dims.opsPer * 10, PayPerTask: 0.05,
+		Strategy: "random", Resources: resources, SeedPosts: seeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// s7Workload runs the mixed serving loop: every tagger iterates
+// RequestTask → SubmitTask → resource detail (engine) → the provider
+// dashboard's record + post count + post tail on three resources (store
+// reads), with a paged export every 16th iteration and a completed-task
+// listing every 64th. Throughput is full iterations over wall time.
+func s7Workload(w *s7World, dims s7Dims) (itersPerSec float64, err error) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, dims.taggers)
+	start := time.Now()
+	for t := 0; t < dims.taggers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			taggerID := w.taggers[t]
+			tags := []string{"go", "serving", fmt.Sprintf("worker-%d", t%7)}
+			for i := 0; i < dims.opsPer; i++ {
+				task, err := w.svc.RequestTask(ctx, w.project, taggerID)
+				if err != nil {
+					errCh <- fmt.Errorf("request: %w", err)
+					return
+				}
+				if err := w.svc.SubmitTask(ctx, w.project, task.ID, tags); err != nil {
+					errCh <- fmt.Errorf("submit: %w", err)
+					return
+				}
+				if _, err := w.svc.ResourceDetail(ctx, w.project, task.ResourceID); err != nil {
+					errCh <- fmt.Errorf("detail: %w", err)
+					return
+				}
+				// The provider dashboard's reads: the assigned resource plus
+				// two neighbours (record, post count, post tail each) — the
+				// Fig. 6 detail screen refreshed per completed task.
+				for k := 0; k < 3; k++ {
+					rid := task.ResourceID
+					if k > 0 {
+						rid = fmt.Sprintf("res-%04d", (t*dims.opsPer+i*3+k)%dims.resources)
+					}
+					if _, err := w.cat.GetResource(rid); err != nil {
+						errCh <- fmt.Errorf("resource: %w", err)
+						return
+					}
+					w.cat.CountPosts(rid)
+					if _, err := w.cat.PostsOf(rid); err != nil {
+						errCh <- fmt.Errorf("posts: %w", err)
+						return
+					}
+				}
+				if i%16 == t%16 {
+					if _, _, err := w.svc.ExportPage(ctx, w.project, "", 50); err != nil {
+						errCh <- fmt.Errorf("export: %w", err)
+						return
+					}
+				}
+				if i%64 == t%64 {
+					if _, err := w.cat.TasksByProject(w.project, store.TaskCompleted); err != nil {
+						errCh <- fmt.Errorf("tasks: %w", err)
+						return
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for e := range errCh {
+		return 0, e
+	}
+	return float64(dims.taggers*dims.opsPer) / wall.Seconds(), nil
+}
+
+// s7Cell provisions and drives one mode once.
+func s7Cell(mode s7Mode, dims s7Dims, seed int64) (float64, error) {
+	w, err := s7Setup(mode, dims, seed)
+	if err != nil {
+		return 0, err
+	}
+	defer w.svc.Close()
+	defer w.cat.DB().Close()
+	return s7Workload(w, dims)
+}
+
+// S7ServingReadPath measures end-to-end serving throughput — the mixed
+// RequestTask/SubmitTask/ResourceDetail/Export/dashboard workload — through
+// the seed read path and the ordered snapshot read path over identical
+// worlds. The acceptance gate requires the indexed path to reach ≥3× the
+// seed path at 64 taggers over 1k resources × 10k posts; the scan-parity
+// property suite (internal/store) pins that the speedup does not change a
+// single scanned byte or pagination cursor.
+func S7ServingReadPath(sz Sizes) (Result, error) {
+	dims := s7Sizes(sz)
+	res := Result{
+		ID: "S7",
+		Title: fmt.Sprintf("serving read path: snapshot indexes + record cache vs seed scans (%d taggers, %d resources × %d posts)",
+			dims.taggers, dims.resources, dims.resources*dims.postsPer),
+		Header: []string{"mode", "taggers", "resources", "seed posts", "iters", "iters/sec", "speedup vs seed"},
+	}
+	// Discarded warm-up so the first measured mode doesn't pay allocator
+	// and scheduler warm-up.
+	warm := s7Dims{resources: 50, postsPer: 2, taggers: 4, opsPer: 8}
+	if _, err := s7Cell(s7Modes()[0], warm, sz.Seed); err != nil {
+		return Result{}, err
+	}
+	// Two measured passes per mode, best-of taken, so one-off GC or
+	// scheduler interference on a shared CI host doesn't fail the gate.
+	best := func(mode s7Mode) (float64, error) {
+		var top float64
+		for i := 0; i < 2; i++ {
+			ips, err := s7Cell(mode, dims, sz.Seed+int64(i))
+			if err != nil {
+				return 0, err
+			}
+			if ips > top {
+				top = ips
+			}
+		}
+		return top, nil
+	}
+	var baseline, gate float64
+	for _, mode := range s7Modes() {
+		ips, err := best(mode)
+		if err != nil {
+			return Result{}, err
+		}
+		if !mode.indexed {
+			baseline = ips
+		}
+		if mode.indexed && mode.shards == 0 && baseline > 0 {
+			gate = ips / baseline
+		}
+		res.Rows = append(res.Rows, []string{
+			mode.name, d(dims.taggers), d(dims.resources), d(dims.resources * dims.postsPer),
+			d(dims.taggers * dims.opsPer), fmt.Sprintf("%.0f", ips), ratio(ips, baseline),
+		})
+	}
+	res.Gates = append(res.Gates, Gate{Name: "indexed_vs_seed_read_path", Ratio: gate, Min: 3})
+	res.Notes = append(res.Notes,
+		"per-iteration work: RequestTask + SubmitTask (GetUser/GetProject/GetTask, PutTask×2, AppendPost), ResourceDetail, then the provider dashboard's GetResource + CountPosts + PostsOf on 3 resources; a 50-row ExportPage every 16th and a completed-task listing every 64th iteration",
+		"seed read path: every prefix scan iterates, filters and sorts the full table under the store RWMutex and every record read pays a JSON decode",
+		"indexed path: lock-free binary-search ranges over copy-on-write table snapshots, O(log n) prefix counts, and the catalog's seq-versioned decoded-record cache",
+		fmt.Sprintf("acceptance gate: indexed ≥ 3x the seed read path at %d taggers over %d resources × %d posts — measured %.2fx",
+			dims.taggers, dims.resources, dims.resources*dims.postsPer, gate),
+		"the sharded row adds the ordered cross-shard k-way merge on whole-table scans (exports); it is informational, not gated",
+	)
+	if gate < 3 {
+		res.Notes = append(res.Notes, "GATE FAILED: the indexed read path did not reach 3x the seed read path")
+	}
+	return res, nil
+}

@@ -676,6 +676,14 @@ func (s *Service) Projects(ctx context.Context, providerID string) ([]ProjectInf
 // next page ("" when exhausted). Cursors are opaque; a stale cursor — the
 // project it pointed at was deleted — still works, resuming after its
 // position in ID order.
+//
+// The page is a range scan: the catalog resumes the ordered project index
+// right after the cursor and the scan stops as soon as the page is full
+// and one further matching row (the "more pages exist" probe) has been
+// seen. Nothing before the cursor is visited; with a provider filter the
+// scan does step over interleaved rows of other providers (project keys
+// are bare IDs), but those decode from the record cache, and the common
+// unfiltered page touches exactly limit+1 rows.
 func (s *Service) ProjectsPage(ctx context.Context, providerID, cursor string, limit int) ([]ProjectInfo, string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
@@ -684,32 +692,37 @@ func (s *Service) ProjectsPage(ctx context.Context, providerID, cursor string, l
 	if err != nil {
 		return nil, "", err
 	}
-	recs, err := s.cat.ListProjects(providerID)
-	if err != nil {
-		return nil, "", err
-	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
-	out := make([]ProjectInfo, 0, len(recs))
-	for i, rec := range recs {
-		if rec.ID <= after {
-			continue
+	out := make([]ProjectInfo, 0, 16)
+	next := ""
+	var pageErr error
+	scanErr := s.cat.ScanProjectsAfter(after, func(rec store.ProjectRec) bool {
+		if providerID != "" && rec.ProviderID != providerID {
+			return true
+		}
+		if limit > 0 && len(out) == limit {
+			// A later matching project exists: the page has a successor.
+			next = encodeCursor(out[len(out)-1].Project.ID)
+			return false
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, "", err
+			pageErr = err
+			return false
 		}
 		info, err := s.Project(ctx, rec.ID)
 		if err != nil {
-			return nil, "", err
+			pageErr = err
+			return false
 		}
 		out = append(out, info)
-		if limit > 0 && len(out) == limit {
-			if i < len(recs)-1 {
-				return out, encodeCursor(rec.ID), nil
-			}
-			break
-		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, "", scanErr
 	}
-	return out, "", nil
+	if pageErr != nil {
+		return nil, "", pageErr
+	}
+	return out, next, nil
 }
 
 // ResourceDetail returns the single-resource details (Fig. 6).
@@ -895,7 +908,14 @@ func (s *Service) Export(ctx context.Context, projectID string) ([]ExportedResou
 
 // ExportPage is Export with cursor pagination over resource IDs: up to
 // limit rows after the cursor (limit <= 0 means all) plus the next-page
-// cursor ("" when exhausted).
+// cursor ("" when exhausted). Like ProjectsPage it is a range scan that
+// resumes the ordered resource index right after the cursor and ends once
+// the page is full and a later resource of the project has been seen.
+// Resource keys are bare IDs (GetResource has no project context), so the
+// scan steps over interleaved rows of other projects — cache-decoded, not
+// re-unmarshaled — and the final page runs to the end of the table to
+// learn it is final; a per-project key layout would bound that too, at
+// the cost of re-keying every resource access path.
 func (s *Service) ExportPage(ctx context.Context, projectID, cursor string, limit int) ([]ExportedResource, string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
@@ -908,32 +928,30 @@ func (s *Service) ExportPage(ctx context.Context, projectID, cursor string, limi
 	if err != nil {
 		return nil, "", err
 	}
-	recs, err := s.cat.ListResources(projectID)
-	if err != nil {
-		return nil, "", err
-	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
-	out := make([]ExportedResource, 0, len(recs))
-	for i, rec := range recs {
-		if rec.ID <= after {
-			continue
+	out := make([]ExportedResource, 0, 16)
+	next := ""
+	scanErr := s.cat.ScanResourcesAfter(after, func(rec store.ResourceRec) bool {
+		if rec.ProjectID != projectID {
+			return true
+		}
+		if limit > 0 && len(out) == limit {
+			next = encodeCursor(out[len(out)-1].ID)
+			return false
 		}
 		st, err := run.Engine.Status(rec.ID)
 		if err != nil {
-			continue
+			return true // not part of the live run; skip, as Export always has
 		}
 		out = append(out, ExportedResource{
 			ID: rec.ID, Name: rec.Name, Posts: st.Posts,
 			Stability: st.Stability, TopTags: st.TopTags,
 		})
-		if limit > 0 && len(out) == limit {
-			if i < len(recs)-1 {
-				return out, encodeCursor(rec.ID), nil
-			}
-			break
-		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, "", scanErr
 	}
-	return out, "", nil
+	return out, next, nil
 }
 
 // --- cursors ------------------------------------------------------------------

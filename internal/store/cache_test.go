@@ -1,0 +1,139 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRecordCacheInvalidation pins read-your-writes through the decoded-
+// record cache: every Catalog write path must invalidate the cached decode
+// it supersedes.
+func TestRecordCacheInvalidation(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	if err := c.PutUser(UserRec{ID: "u1", Judged: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := c.GetUser("u1"); u.Judged != 1 {
+		t.Fatalf("Judged = %d, want 1", u.Judged)
+	}
+	if err := c.PutUser(UserRec{ID: "u1", Judged: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := c.GetUser("u1"); u.Judged != 2 {
+		t.Fatalf("cached stale user: Judged = %d, want 2", u.Judged)
+	}
+
+	if _, err := c.AppendPost(PostRec{ResourceID: "r1", Tags: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.GetPost("r1", 1)
+	if err != nil || p.Approved != nil {
+		t.Fatalf("fresh post: %+v, %v", p, err)
+	}
+	yes := true
+	p.Approved = &yes
+	if err := c.UpdatePost("r1", 1, p); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.GetPost("r1", 1); got.Approved == nil || !*got.Approved {
+		t.Fatalf("cached stale post after UpdatePost: %+v", got)
+	}
+	posts, err := c.PostsOf("r1")
+	if err != nil || len(posts) != 1 || posts[0].Approved == nil {
+		t.Fatalf("PostsOf after judge: %+v, %v", posts, err)
+	}
+}
+
+// TestRecordCacheSliceRecordsConcurrentFills pins that concurrent fills of
+// records with uncomparable fields (PostRec.Tags is a slice) exercise the
+// cache's ordered publication without panicking — sync.Map.CompareAndSwap
+// compares entry pointers, never record values.
+func TestRecordCacheSliceRecordsConcurrentFills(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	for i := 0; i < 6; i++ {
+		if _, err := c.AppendPost(PostRec{ResourceID: "r1", Tags: []string{"a", "b"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force the publish-over-existing path: an entry at an older stamp must
+	// be replaced via CompareAndSwap when a fresher fill lands.
+	c.cache.add(TablePosts, postKey("r1", 1), 1, PostRec{ResourceID: "r1", Tags: []string{"old"}})
+	c.cache.add(TablePosts, postKey("r1", 1), 2, PostRec{ResourceID: "r1", Tags: []string{"new"}})
+	if v, ok := c.cache.get(TablePosts, postKey("r1", 1)); !ok || v.(PostRec).Tags[0] != "new" {
+		t.Fatalf("ordered publish failed: %v %v", v, ok)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.PostsOf("r1"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRecordCacheConcurrentFreshness races one writer bumping a user
+// record's counter against many cached readers: with the seq-versioned
+// fill protocol no reader may ever observe the counter move backwards
+// (which is exactly what a stale decode cached after a newer write would
+// look like).
+func TestRecordCacheConcurrentFreshness(t *testing.T) {
+	c := NewCatalog(OpenMemory())
+	const writes = 2000
+	if err := c.PutUser(UserRec{ID: "u1"}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 9)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 1; i <= writes; i++ {
+			if err := c.PutUser(UserRec{ID: "u1", Judged: i}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				u, err := c.GetUser("u1")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if u.Judged < last {
+					errCh <- fmt.Errorf("stale cached read: Judged went %d -> %d", last, u.Judged)
+					return
+				}
+				last = u.Judged
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if u, _ := c.GetUser("u1"); u.Judged != writes {
+		t.Fatalf("final Judged = %d, want %d", u.Judged, writes)
+	}
+}

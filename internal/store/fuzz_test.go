@@ -7,6 +7,7 @@ package store
 // (resurrection). Seed corpus lives in testdata/fuzz/<FuzzName>/.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -93,7 +94,7 @@ func readFuzzState(t *testing.T, s Store) map[string]int {
 	var bad error
 	s.Scan("t", func(key string, raw []byte) bool {
 		var v int
-		if err := unmarshal(raw, &v); err != nil {
+		if err := json.Unmarshal(raw, &v); err != nil {
 			bad = fmt.Errorf("key %s: %w", key, err)
 			return false
 		}

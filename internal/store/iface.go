@@ -25,12 +25,22 @@ type Store interface {
 	// per shard (see Sharded.Apply).
 	Apply(muts []Mutation) error
 	// Scan visits every (key, raw JSON value) of a table in ascending key
-	// order; fn returning false stops the scan.
+	// order; fn returning false stops the scan. The raw slices handed to
+	// fn are shared with the store's immutable value snapshots and must
+	// not be modified.
 	Scan(table string, fn func(key string, raw []byte) bool)
 	// ScanPrefix visits keys with the given prefix in ascending order.
 	ScanPrefix(table, prefix string, fn func(key string, raw []byte) bool)
+	// ScanRange visits keys in [start, end) in ascending order (end "" =
+	// unbounded), calling fn for at most limit keys (limit <= 0 =
+	// unbounded) or until fn returns false; it reports how many keys fn
+	// visited.
+	ScanRange(table, start, end string, limit int, fn func(key string, raw []byte) bool) int
 	// Count returns the number of keys in a table.
 	Count(table string) int
+	// CountPrefix returns the number of keys with the given prefix without
+	// visiting them.
+	CountPrefix(table, prefix string) int
 	// Tables returns the table names in sorted order.
 	Tables() []string
 	// Sync forces buffered state to stable storage (no-op in memory).

@@ -1,0 +1,376 @@
+package store
+
+// This file implements the ordered, copy-on-write read path behind DB: each
+// table keeps an immutable snapshot (tableSnap) published behind an atomic
+// pointer, so Get/Has/Scan/ScanPrefix/ScanRange/Count never take the store
+// lock. Writers — the group-commit writer, the synchronous commit path and
+// the in-memory commit path — rebuild the affected tables incrementally at
+// apply time and publish the new index atomically, so a commit's effects
+// are visible to readers before its barrier releases (read-your-writes is
+// preserved).
+//
+// A snapshot is a two-level structure: a large sorted base (keys/vals) plus
+// a small sorted delta overlay (dkeys/dvals) holding the keys written since
+// the base was last built; a nil delta value is a tombstone shadowing a
+// deleted base entry. A commit batch merges its dirty keys into a fresh
+// delta — O(|delta|) — and folds the delta into a fresh base only when the
+// delta outgrows ~2·√(base), so the per-commit rebuild cost is amortized
+// O(√n) instead of the O(n) a flat sorted array would pay. Reads pay one
+// extra binary search over the (small) delta; scans run a two-way merge of
+// base and delta with early termination and no copying.
+//
+// Value slices are shared between the snapshot and the authoritative table
+// maps; that is safe because stored values are replaced wholesale on
+// overwrite and never mutated in place (the same invariant the compaction
+// cut relies on, see snapshotTablesLocked).
+//
+// Options.PlainReads disables the index and restores the pre-index
+// iterate-filter-sort read path — kept, like GroupCommitWindow < 0, as the
+// benchmark baseline (experiment S7).
+
+import (
+	"sort"
+	"strings"
+)
+
+// tableSnap is an immutable point-in-time ordered view of one table. Never
+// mutated after publication; rebuilds produce fresh slices.
+type tableSnap struct {
+	keys []string // base: ascending keys…
+	vals [][]byte // …with their raw values in parallel
+
+	dkeys []string // delta overlay: ascending keys written since the base…
+	dvals [][]byte // …was built; nil marks a tombstone (deleted base key)
+
+	live int // number of live keys (base − tombstoned + inserted)
+}
+
+// get returns the raw value for key: delta overlay first (it shadows the
+// base), then the base.
+func (s *tableSnap) get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	if j := sort.SearchStrings(s.dkeys, key); j < len(s.dkeys) && s.dkeys[j] == key {
+		if s.dvals[j] == nil {
+			return nil, false // tombstone
+		}
+		return s.dvals[j], true
+	}
+	if i := sort.SearchStrings(s.keys, key); i < len(s.keys) && s.keys[i] == key {
+		return s.vals[i], true
+	}
+	return nil, false
+}
+
+// count returns the number of live keys.
+func (s *tableSnap) count() int {
+	if s == nil {
+		return 0
+	}
+	return s.live
+}
+
+// snapIter merges base and delta lazily over [start, end): head entry in
+// (key, val, ok); advance() moves to the next live entry, skipping
+// tombstones and shadowed base entries.
+type snapIter struct {
+	s    *tableSnap
+	i, j int
+	end  string
+	key  string
+	val  []byte
+	ok   bool
+}
+
+// iter positions an iterator at the first live key >= start (nil-receiver
+// safe: the iterator is immediately exhausted).
+func (s *tableSnap) iter(start, end string) snapIter {
+	it := snapIter{end: end}
+	if s != nil {
+		it.s = s
+		it.i = sort.SearchStrings(s.keys, start)
+		it.j = sort.SearchStrings(s.dkeys, start)
+	}
+	it.advance()
+	return it
+}
+
+func (it *snapIter) advance() {
+	it.ok = false
+	s := it.s
+	if s == nil {
+		return
+	}
+	for {
+		bi := it.i < len(s.keys) && (it.end == "" || s.keys[it.i] < it.end)
+		dj := it.j < len(s.dkeys) && (it.end == "" || s.dkeys[it.j] < it.end)
+		switch {
+		case !bi && !dj:
+			return
+		case dj && (!bi || s.dkeys[it.j] <= s.keys[it.i]):
+			k, v := s.dkeys[it.j], s.dvals[it.j]
+			if bi && s.keys[it.i] == k {
+				it.i++ // delta shadows this base entry
+			}
+			it.j++
+			if v == nil {
+				continue // tombstone
+			}
+			it.key, it.val, it.ok = k, v, true
+			return
+		default:
+			it.key, it.val, it.ok = s.keys[it.i], s.vals[it.i], true
+			it.i++
+			return
+		}
+	}
+}
+
+// scanRange visits live keys in [start, end) (end "" = unbounded), at most
+// limit (limit <= 0 = unbounded), and reports how many fn visited.
+func (s *tableSnap) scanRange(start, end string, limit int, fn func(key string, raw []byte) bool) int {
+	n := 0
+	for it := s.iter(start, end); it.ok; it.advance() {
+		if limit > 0 && n == limit {
+			break
+		}
+		n++
+		if !fn(it.key, it.val) {
+			break
+		}
+	}
+	return n
+}
+
+// countRange counts live keys in [start, end) without visiting them: two
+// binary searches over the base, adjusted by the delta entries in range.
+func (s *tableSnap) countRange(start, end string) int {
+	if s == nil {
+		return 0
+	}
+	lo := sort.SearchStrings(s.keys, start)
+	hi := len(s.keys)
+	if end != "" {
+		hi = sort.SearchStrings(s.keys, end)
+	}
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	for j := sort.SearchStrings(s.dkeys, start); j < len(s.dkeys); j++ {
+		k := s.dkeys[j]
+		if end != "" && k >= end {
+			break
+		}
+		i := sort.SearchStrings(s.keys, k)
+		inBase := i < len(s.keys) && s.keys[i] == k
+		if s.dvals[j] == nil {
+			if inBase {
+				n--
+			}
+		} else if !inBase {
+			n++
+		}
+	}
+	return n
+}
+
+// dbIndex maps table name → its current snapshot. The map itself is
+// immutable once published; rebuilds copy it shallowly.
+type dbIndex map[string]*tableSnap
+
+// loadIndex returns the published index (nil before the first publication,
+// i.e. mid-recovery or with PlainReads).
+func (db *DB) loadIndex() dbIndex {
+	p := db.idx.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// snap returns the published snapshot of one table (nil-safe for readers).
+func (db *DB) snap(table string) *tableSnap {
+	return db.loadIndex()[table]
+}
+
+// indexed reports whether this DB serves reads from the snapshot index.
+func (db *DB) indexed() bool { return !db.opts.PlainReads }
+
+// tableSnapshot exposes a table's immutable snapshot to Sharded's k-way
+// merge. ok=false means this store has no index (PlainReads) and the caller
+// must fall back to the collect-and-sort path.
+func (db *DB) tableSnapshot(table string) (*tableSnap, bool) {
+	if !db.indexed() {
+		return nil, false
+	}
+	return db.snap(table), true
+}
+
+// tableSnapshotter is the optional backend surface Sharded uses to merge
+// per-shard ordered snapshots without copying.
+type tableSnapshotter interface {
+	tableSnapshot(table string) (*tableSnap, bool)
+}
+
+// markDirtyLocked records that a commit touched (table, key). Caller holds
+// db.mu; no-op until the index goes live after recovery.
+func (db *DB) markDirtyLocked(table, key string) {
+	if !db.idxLive {
+		return
+	}
+	t := db.dirty[table]
+	if t == nil {
+		if db.dirty == nil {
+			db.dirty = make(map[string]map[string]struct{})
+		}
+		t = make(map[string]struct{})
+		db.dirty[table] = t
+	}
+	t[key] = struct{}{}
+}
+
+// refreshIndexLocked merges the dirty keys of the last commit batch into
+// the published index. Caller holds db.mu; must run before the batch's
+// commit barriers release so acked writes are reader-visible.
+func (db *DB) refreshIndexLocked() {
+	if !db.idxLive || len(db.dirty) == 0 {
+		return
+	}
+	old := db.loadIndex()
+	next := make(dbIndex, len(db.tables))
+	for name, snap := range old {
+		next[name] = snap
+	}
+	for name, keys := range db.dirty {
+		next[name] = mergeSnap(old[name], db.tables[name], keys)
+	}
+	db.idx.Store(&next)
+	db.dirty = nil
+}
+
+// rebuildIndexLocked builds the index from scratch — once after recovery,
+// instead of merging per replayed record. Caller holds db.mu (or is in
+// single-threaded Open).
+func (db *DB) rebuildIndexLocked() {
+	if !db.indexed() {
+		return
+	}
+	next := make(dbIndex, len(db.tables))
+	for name, t := range db.tables {
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		vals := make([][]byte, len(keys))
+		for i, k := range keys {
+			vals[i] = t[k]
+		}
+		next[name] = &tableSnap{keys: keys, vals: vals, live: len(keys)}
+	}
+	db.idx.Store(&next)
+	db.dirty = nil
+	db.idxLive = true
+}
+
+// mergeSnap merges one table's dirty keys into its previous snapshot: the
+// dirty keys join the delta overlay in one ordered pass (looking each up in
+// the authoritative map t; absent = tombstone), and the delta folds into a
+// fresh base once it outgrows ~2·√(base) — the amortized-O(√n) schedule.
+func mergeSnap(old *tableSnap, t map[string][]byte, dirtySet map[string]struct{}) *tableSnap {
+	dirty := make([]string, 0, len(dirtySet))
+	for k := range dirtySet {
+		dirty = append(dirty, k)
+	}
+	sort.Strings(dirty)
+	if old == nil {
+		old = &tableSnap{}
+	}
+	next := &tableSnap{keys: old.keys, vals: old.vals}
+	// One ordered pass: previous delta entries not re-dirtied carry over,
+	// dirty keys pick up their current value (or a tombstone). The live
+	// count adjusts only at the dirty keys' liveness transitions — the
+	// carried entries contributed to old.live already.
+	dkeys := make([]string, 0, len(old.dkeys)+len(dirty))
+	dvals := make([][]byte, 0, len(old.dkeys)+len(dirty))
+	live := old.live
+	i, j := 0, 0
+	for i < len(old.dkeys) || j < len(dirty) {
+		if j == len(dirty) || (i < len(old.dkeys) && old.dkeys[i] < dirty[j]) {
+			dkeys = append(dkeys, old.dkeys[i])
+			dvals = append(dvals, old.dvals[i])
+			i++
+			continue
+		}
+		k := dirty[j]
+		j++
+		wasLive := false
+		if i < len(old.dkeys) && old.dkeys[i] == k {
+			wasLive = old.dvals[i] != nil
+			i++ // superseded by the fresh dirty entry
+		} else {
+			_, wasLive = searchIn(old.keys, k)
+		}
+		if v, ok := t[k]; ok {
+			dkeys = append(dkeys, k)
+			dvals = append(dvals, v)
+			if !wasLive {
+				live++
+			}
+		} else {
+			if wasLive {
+				live--
+			}
+			if _, inBase := searchIn(next.keys, k); inBase {
+				dkeys = append(dkeys, k)
+				dvals = append(dvals, nil) // tombstone for a live base key
+			}
+			// Deleted and absent from the base: no entry needed at all.
+		}
+	}
+	next.dkeys, next.dvals = dkeys, dvals
+	next.live = live
+	if d := len(dkeys); d > 64 && d*d > 4*len(next.keys) {
+		return foldSnap(next)
+	}
+	return next
+}
+
+// foldSnap compacts a snapshot's delta into a fresh base.
+func foldSnap(s *tableSnap) *tableSnap {
+	keys := make([]string, 0, len(s.keys)+len(s.dkeys))
+	vals := make([][]byte, 0, len(s.keys)+len(s.dkeys))
+	for it := s.iter("", ""); it.ok; it.advance() {
+		keys = append(keys, it.key)
+		vals = append(vals, it.val)
+	}
+	return &tableSnap{keys: keys, vals: vals, live: len(keys)}
+}
+
+// searchIn is a bare sorted-slice membership probe.
+func searchIn(keys []string, key string) (int, bool) {
+	i := sort.SearchStrings(keys, key)
+	return i, i < len(keys) && keys[i] == key
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix ("" when no such bound exists, i.e. the range is unbounded).
+func prefixEnd(prefix string) string {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			return prefix[:i] + string(prefix[i]+1)
+		}
+	}
+	return ""
+}
+
+// firstSegment returns the key's first path segment and whether the key
+// actually contains a '/' separator.
+func firstSegment(key string) (string, bool) {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i], true
+	}
+	return key, false
+}

@@ -41,13 +41,18 @@ type Sharded struct {
 
 // NewSharded returns a volatile in-memory store partitioned across n
 // single-lock shards. n must be >= 1.
-func NewSharded(n int) *Sharded {
+func NewSharded(n int) *Sharded { return NewShardedWith(n, Options{}) }
+
+// NewShardedWith is NewSharded with every shard honoring the read-path
+// options (used by benchmark baselines; durability options are ignored by
+// in-memory shards).
+func NewShardedWith(n int, opts Options) *Sharded {
 	if n < 1 {
 		n = 1
 	}
 	shards := make([]Store, n)
 	for i := range shards {
-		shards[i] = OpenMemory()
+		shards[i] = OpenMemoryWith(opts)
 	}
 	return &Sharded{shards: shards}
 }
@@ -170,29 +175,94 @@ func (s *Sharded) Scan(table string, fn func(key string, raw []byte) bool) {
 
 // ScanPrefix implements Store. A prefix that pins the key's first path
 // segment (contains '/') is served by the owning shard alone; otherwise the
-// per-shard results are merged back into ascending key order.
+// per-shard snapshots are merged back into ascending key order (an ordered
+// k-way merge with early termination when the shards expose their
+// copy-on-write table snapshots).
 func (s *Sharded) ScanPrefix(table, prefix string, fn func(key string, raw []byte) bool) {
 	if i := strings.IndexByte(prefix, '/'); i >= 0 {
 		s.shard(prefix).ScanPrefix(table, prefix, fn)
 		return
 	}
+	s.scanRangeMerged(table, prefix, prefixEnd(prefix), 0, fn)
+}
+
+// ScanRange implements Store. When both bounds pin the same first path
+// segment every key in [start, end) lives in one shard (any string between
+// two strings sharing the "seg/" prefix shares it too) and the owning shard
+// serves the range alone; otherwise the shards are merged in key order.
+func (s *Sharded) ScanRange(table, start, end string, limit int, fn func(key string, raw []byte) bool) int {
+	if sseg, sok := firstSegment(start); sok {
+		if eseg, eok := firstSegment(end); eok && sseg == eseg {
+			return s.shard(start).ScanRange(table, start, end, limit, fn)
+		}
+	}
+	return s.scanRangeMerged(table, start, end, limit, fn)
+}
+
+// scanRangeMerged merges [start, end) across every shard. Shards that
+// expose immutable table snapshots are merged lazily — O(Σ log n_i + k·N)
+// with no copying and true early termination; if any shard cannot (a
+// PlainReads baseline store), it falls back to collect-and-sort.
+func (s *Sharded) scanRangeMerged(table, start, end string, limit int, fn func(key string, raw []byte) bool) int {
+	its := make([]snapIter, 0, len(s.shards))
+	for _, sh := range s.shards {
+		ts, ok := sh.(tableSnapshotter)
+		if !ok {
+			return s.scanRangeCollect(table, start, end, limit, fn)
+		}
+		snap, ok := ts.tableSnapshot(table)
+		if !ok {
+			return s.scanRangeCollect(table, start, end, limit, fn)
+		}
+		its = append(its, snap.iter(start, end))
+	}
+	n := 0
+	for limit <= 0 || n < limit {
+		// Pick the shard cursor with the smallest in-range key. Keys are
+		// owned by exactly one shard, so there are no ties to break.
+		min := -1
+		for i := range its {
+			if its[i].ok && (min < 0 || its[i].key < its[min].key) {
+				min = i
+			}
+		}
+		if min < 0 {
+			break
+		}
+		k, v := its[min].key, its[min].val
+		its[min].advance()
+		n++
+		if !fn(k, v) {
+			break
+		}
+	}
+	return n
+}
+
+// scanRangeCollect is the pre-index merge: gather every in-range entry from
+// every shard, sort, then visit.
+func (s *Sharded) scanRangeCollect(table, start, end string, limit int, fn func(key string, raw []byte) bool) int {
 	type kv struct {
 		key string
 		raw []byte
 	}
 	var all []kv
 	for _, sh := range s.shards {
-		sh.ScanPrefix(table, prefix, func(key string, raw []byte) bool {
+		sh.ScanRange(table, start, end, 0, func(key string, raw []byte) bool {
 			all = append(all, kv{key, raw})
 			return true
 		})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
-	for _, e := range all {
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	for i, e := range all {
 		if !fn(e.key, e.raw) {
-			return
+			return i + 1
 		}
 	}
+	return len(all)
 }
 
 // Count implements Store.
@@ -200,6 +270,19 @@ func (s *Sharded) Count(table string) int {
 	n := 0
 	for _, sh := range s.shards {
 		n += sh.Count(table)
+	}
+	return n
+}
+
+// CountPrefix implements Store. A first-segment-pinned prefix is counted by
+// the owning shard alone (two binary searches on an indexed shard).
+func (s *Sharded) CountPrefix(table, prefix string) int {
+	if i := strings.IndexByte(prefix, '/'); i >= 0 {
+		return s.shard(prefix).CountPrefix(table, prefix)
+	}
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.CountPrefix(table, prefix)
 	}
 	return n
 }

@@ -76,11 +76,19 @@ type DB struct {
 	opts   Options
 	tables map[string]map[string][]byte
 	seq    uint64
-	closed bool
+	closed atomic.Bool
 	// walErr is the sticky storage failure: after a failed or torn WAL
 	// write the on-disk tail is unknowable, so every further mutation
 	// reports the original error instead of diverging memory from disk.
 	walErr error
+
+	// Ordered copy-on-write read path (see index.go): the published
+	// per-table snapshots, the keys dirtied since the last publication
+	// (guarded by mu) and whether the index is live (false mid-recovery
+	// and permanently false with Options.PlainReads).
+	idx     atomic.Pointer[dbIndex]
+	dirty   map[string]map[string]struct{}
+	idxLive bool
 
 	wal *wal // nil for in-memory stores
 
@@ -121,6 +129,11 @@ type Options struct {
 	// AutoCompact starts an online snapshot compaction in the background
 	// once sealed (replay-on-recovery) WAL bytes exceed this (0 disables).
 	AutoCompact int64
+	// PlainReads disables the ordered copy-on-write snapshot index and
+	// serves reads via the pre-index path: iterate-filter-sort prefix
+	// scans and map lookups under the store's RWMutex. Kept, like
+	// GroupCommitWindow < 0, as the benchmark baseline (experiment S7).
+	PlainReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -137,8 +150,14 @@ func (db *DB) groupMode() bool {
 }
 
 // OpenMemory returns a volatile in-memory DB.
-func OpenMemory() *DB {
-	return &DB{tables: make(map[string]map[string][]byte)}
+func OpenMemory() *DB { return OpenMemoryWith(Options{}) }
+
+// OpenMemoryWith is OpenMemory honoring the read-path options (the
+// durability options are meaningless without a WAL and ignored).
+func OpenMemoryWith(opts Options) *DB {
+	db := &DB{opts: opts, tables: make(map[string]map[string][]byte)}
+	db.rebuildIndexLocked() // publish the empty index; no-op for PlainReads
+	return db
 }
 
 // Open opens (creating if needed) a DB backed by the WAL layout rooted at
@@ -162,6 +181,8 @@ func Open(path string, opts Options) (*DB, error) {
 	if err := db.recover(); err != nil {
 		return nil, err
 	}
+	// One full index build after replay instead of a merge per record.
+	db.rebuildIndexLocked()
 	db.st.recoveryMillis = float64(time.Since(start).Microseconds()) / 1e3
 	if db.groupMode() {
 		db.wake = make(chan struct{}, 1)
@@ -342,9 +363,11 @@ func (db *DB) applyLocked(rec Record) {
 			db.tables[rec.Table] = t
 		}
 		t[rec.Key] = append([]byte(nil), rec.Value...)
+		db.markDirtyLocked(rec.Table, rec.Key)
 	case OpDelete:
 		if t := db.tables[rec.Table]; t != nil {
 			delete(t, rec.Key)
+			db.markDirtyLocked(rec.Table, rec.Key)
 		}
 	case OpBatch:
 		for _, sub := range rec.Batch {
@@ -387,11 +410,12 @@ func (db *DB) commitRecord(op Op, table, key string, value json.RawMessage, batc
 func (db *DB) commitMemory(op Op, table, key string, value json.RawMessage, batch []Record) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
+	if db.closed.Load() {
 		return ErrClosed
 	}
 	db.seq++
 	db.applyLocked(Record{Seq: db.seq, Op: op, Table: table, Key: key, Value: value, Batch: batch})
+	db.refreshIndexLocked()
 	db.st.commits.Add(1)
 	return nil
 }
@@ -401,7 +425,7 @@ func (db *DB) commitMemory(op Op, table, key string, value json.RawMessage, batc
 // fsynced per Options.SyncEvery, and applied.
 func (db *DB) commitGroup(op Op, table, key string, value json.RawMessage, batch []Record) error {
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return ErrClosed
 	}
@@ -433,7 +457,7 @@ func (db *DB) commitSync(op Op, table, key string, value json.RawMessage, batch 
 	w.fmu.Lock()
 	defer w.fmu.Unlock()
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return ErrClosed
 	}
@@ -474,6 +498,7 @@ func (db *DB) commitSync(op Op, table, key string, value json.RawMessage, batch 
 		db.st.fsyncs.Add(1)
 	}
 	db.applyLocked(rec)
+	db.refreshIndexLocked()
 	db.mu.Unlock()
 	w.lastApplied = rec.Seq
 	db.st.commits.Add(1)
@@ -496,15 +521,25 @@ func (db *DB) Put(table, key string, value any) error {
 }
 
 // Get unmarshals the value at (table, key) into out. It returns ErrNotFound
-// if absent.
+// if absent. On the indexed path this is a lock-free binary search over the
+// table's published snapshot.
 func (db *DB) Get(table, key string, out any) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
+	if !db.indexed() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if db.closed.Load() {
+			return ErrClosed
+		}
+		raw, ok := db.tables[table][key]
+		if !ok {
+			return ErrNotFound
+		}
+		return json.Unmarshal(raw, out)
+	}
+	if db.closed.Load() {
 		return ErrClosed
 	}
-	t := db.tables[table]
-	raw, ok := t[key]
+	raw, ok := db.snap(table).get(key)
 	if !ok {
 		return ErrNotFound
 	}
@@ -513,9 +548,13 @@ func (db *DB) Get(table, key string, out any) error {
 
 // Has reports whether (table, key) exists.
 func (db *DB) Has(table, key string) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	_, ok := db.tables[table][key]
+	if !db.indexed() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		_, ok := db.tables[table][key]
+		return ok
+	}
+	_, ok := db.snap(table).get(key)
 	return ok
 }
 
@@ -562,18 +601,51 @@ func (db *DB) Scan(table string, fn func(key string, raw []byte) bool) {
 	db.ScanPrefix(table, "", fn)
 }
 
-// ScanPrefix visits keys with the given prefix in ascending order.
+// ScanPrefix visits keys with the given prefix in ascending order. On the
+// indexed path this is a binary-search range over the table snapshot —
+// O(log n + visited), nothing copied, early termination free. The plain
+// path is the pre-index baseline: collect, sort, then visit.
 func (db *DB) ScanPrefix(table, prefix string, fn func(key string, raw []byte) bool) {
+	if !db.indexed() {
+		db.plainScanPrefix(table, prefix, fn)
+		return
+	}
+	db.snap(table).scanRange(prefix, prefixEnd(prefix), 0, fn)
+}
+
+// ScanRange visits keys in [start, end) in ascending order — end "" means
+// unbounded — calling fn for at most limit keys (limit <= 0 = unbounded)
+// or until fn returns false. It returns the number of keys visited.
+func (db *DB) ScanRange(table, start, end string, limit int, fn func(key string, raw []byte) bool) int {
+	if !db.indexed() {
+		return db.plainScanRange(table, start, end, limit, fn)
+	}
+	return db.snap(table).scanRange(start, end, limit, fn)
+}
+
+// plainScanPrefix is the pre-index read path (Options.PlainReads): a key
+// k has the prefix exactly when prefix <= k < prefixEnd(prefix), so the
+// unlimited range scan reproduces the seed behavior byte for byte.
+func (db *DB) plainScanPrefix(table, prefix string, fn func(key string, raw []byte) bool) {
+	db.plainScanRange(table, prefix, prefixEnd(prefix), 0, fn)
+}
+
+// plainScanRange is ScanRange over the pre-index path: filter and sort
+// every key of the table under the read lock, copy the in-range values
+// (bounded by limit), then run the callbacks lock-free.
+func (db *DB) plainScanRange(table, start, end string, limit int, fn func(key string, raw []byte) bool) int {
 	db.mu.RLock()
 	t := db.tables[table]
 	keys := make([]string, 0, len(t))
 	for k := range t {
-		if strings.HasPrefix(k, prefix) {
+		if k >= start && (end == "" || k < end) {
 			keys = append(keys, k)
 		}
 	}
 	sort.Strings(keys)
-	// Copy values under lock so callbacks run lock-free.
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
 	vals := make([][]byte, len(keys))
 	for i, k := range keys {
 		vals[i] = t[k]
@@ -581,24 +653,54 @@ func (db *DB) ScanPrefix(table, prefix string, fn func(key string, raw []byte) b
 	db.mu.RUnlock()
 	for i, k := range keys {
 		if !fn(k, vals[i]) {
-			return
+			return i + 1
 		}
 	}
+	return len(keys)
 }
 
 // Count returns the number of keys in a table.
 func (db *DB) Count(table string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.tables[table])
+	if !db.indexed() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return len(db.tables[table])
+	}
+	return db.snap(table).count()
+}
+
+// CountPrefix returns the number of keys with the given prefix — two binary
+// searches on the indexed path, no iteration.
+func (db *DB) CountPrefix(table, prefix string) int {
+	if !db.indexed() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		n := 0
+		for k := range db.tables[table] {
+			if strings.HasPrefix(k, prefix) {
+				n++
+			}
+		}
+		return n
+	}
+	return db.snap(table).countRange(prefix, prefixEnd(prefix))
 }
 
 // Tables returns the table names in sorted order.
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
-	for name := range db.tables {
+	if !db.indexed() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		out := make([]string, 0, len(db.tables))
+		for name := range db.tables {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		return out
+	}
+	idx := db.loadIndex()
+	out := make([]string, 0, len(idx))
+	for name := range idx {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -618,14 +720,14 @@ func (db *DB) Sync() error {
 	if db.wal == nil {
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		if db.closed {
+		if db.closed.Load() {
 			return ErrClosed
 		}
 		return nil
 	}
 	if db.groupMode() {
 		db.mu.Lock()
-		if db.closed {
+		if db.closed.Load() {
 			db.mu.Unlock()
 			return ErrClosed
 		}
@@ -645,7 +747,7 @@ func (db *DB) Sync() error {
 	w.fmu.Lock()
 	defer w.fmu.Unlock()
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return ErrClosed
 	}
@@ -674,7 +776,7 @@ func (db *DB) Sync() error {
 // nothing to compact.
 func (db *DB) Compact() error {
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return ErrClosed
 	}
@@ -706,7 +808,7 @@ func (db *DB) cut() (*cutState, error) {
 		return db.performCut()
 	}
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
@@ -787,11 +889,11 @@ func (db *DB) writeSnapshotAndCleanup(cut *cutState) error {
 // Close flushes and closes the WAL. Further operations return ErrClosed.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return nil
 	}
-	db.closed = true
+	db.closed.Store(true)
 	db.mu.Unlock()
 	if db.wal == nil {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -141,16 +142,80 @@ func (u UserRec) ApprovalRate() float64 {
 // first path segment, so on a Sharded backend every Catalog access path is
 // shard-local (see Sharded).
 type Catalog struct {
-	db Store
+	db    Store
+	cache *recordCache // nil = decode on every read (benchmark baseline)
 
 	mu      sync.Mutex
 	nextSeq map[string]uint64 // resourceID → next post sequence number
 }
 
 // NewCatalog wraps a Store backend (DB or Sharded). Post sequence counters
-// are recovered lazily.
+// are recovered lazily, and hot reads are served from a seq-versioned
+// decoded-record cache (see recordCache) invalidated by key on write.
 func NewCatalog(db Store) *Catalog {
+	return &Catalog{db: db, cache: newRecordCache(), nextSeq: make(map[string]uint64)}
+}
+
+// NewCatalogUncached is NewCatalog without the decoded-record cache — the
+// pre-cache read path, kept as the S7 benchmark baseline.
+func NewCatalogUncached(db Store) *Catalog {
 	return &Catalog{db: db, nextSeq: make(map[string]uint64)}
+}
+
+// catGet loads (table, key) through the decoded-record cache: a hit skips
+// the store and the JSON decode entirely; a miss decodes once and publishes
+// the record under the cache's fill protocol.
+func catGet[T any](c *Catalog, table, key string) (T, error) {
+	var rec T
+	if c.cache == nil {
+		err := c.db.Get(table, key, &rec)
+		return rec, err
+	}
+	if v, ok := c.cache.get(table, key); ok {
+		return v.(T), nil
+	}
+	seq, _ := c.cache.seq(table)
+	if err := c.db.Get(table, key, &rec); err != nil {
+		var zero T
+		return zero, err
+	}
+	c.cache.add(table, key, seq, rec)
+	return rec, nil
+}
+
+// decodeCached decodes one scanned raw value through the cache. seq is the
+// table's write sequence captured before the scan started, so fills from a
+// scan that raced a write are discarded.
+func decodeCached[T any](c *Catalog, table, key string, raw []byte, seq uint64) (T, error) {
+	if c.cache != nil {
+		if v, ok := c.cache.get(table, key); ok {
+			return v.(T), nil
+		}
+	}
+	var rec T
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return rec, err
+	}
+	if c.cache != nil {
+		c.cache.add(table, key, seq, rec)
+	}
+	return rec, nil
+}
+
+// scanSeq captures a table's write sequence for a scan's cache fills.
+func (c *Catalog) scanSeq(table string) uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	seq, _ := c.cache.seq(table)
+	return seq
+}
+
+// invalidate drops a written key from the decoded-record cache.
+func (c *Catalog) invalidate(table, key string) {
+	if c.cache != nil {
+		c.cache.invalidate(table, key)
+	}
 }
 
 // DB exposes the underlying store backend.
@@ -163,33 +228,57 @@ func (c *Catalog) PutResource(r ResourceRec) error {
 	if r.ID == "" {
 		return errors.New("store: resource ID required")
 	}
-	return c.db.Put(TableResources, r.ID, r)
+	if err := c.db.Put(TableResources, r.ID, r); err != nil {
+		return err
+	}
+	c.invalidate(TableResources, r.ID)
+	return nil
 }
 
 // GetResource loads a resource.
 func (c *Catalog) GetResource(id string) (ResourceRec, error) {
-	var r ResourceRec
-	err := c.db.Get(TableResources, id, &r)
-	return r, err
+	return catGet[ResourceRec](c, TableResources, id)
 }
 
 // ListResources returns all resources in ID order, optionally filtered by
 // project (empty projectID = all).
 func (c *Catalog) ListResources(projectID string) ([]ResourceRec, error) {
 	var out []ResourceRec
-	var scanErr error
-	c.db.Scan(TableResources, func(key string, raw []byte) bool {
-		var r ResourceRec
-		if err := unmarshal(raw, &r); err != nil {
-			scanErr = fmt.Errorf("store: resource %s: %w", key, err)
-			return false
-		}
+	err := c.ScanResourcesAfter("", func(r ResourceRec) bool {
 		if projectID == "" || r.ProjectID == projectID {
 			out = append(out, r)
 		}
 		return true
 	})
-	return out, scanErr
+	return out, err
+}
+
+// ScanResourcesAfter visits resources in ID order, starting strictly after
+// the given ID ("" = from the beginning), decoding through the record
+// cache; fn returning false stops the scan. It is the range primitive
+// behind cursor-paginated exports.
+func (c *Catalog) ScanResourcesAfter(after string, fn func(ResourceRec) bool) error {
+	seq := c.scanSeq(TableResources)
+	var scanErr error
+	c.db.ScanRange(TableResources, afterStart(after), "", 0, func(key string, raw []byte) bool {
+		r, err := decodeCached[ResourceRec](c, TableResources, key, raw, seq)
+		if err != nil {
+			scanErr = fmt.Errorf("store: resource %s: %w", key, err)
+			return false
+		}
+		return fn(r)
+	})
+	return scanErr
+}
+
+// afterStart converts an exclusive "resume after this key" position into an
+// inclusive ScanRange start: the immediate successor of the key ("" stays
+// the open start; keys are never empty).
+func afterStart(after string) string {
+	if after == "" {
+		return ""
+	}
+	return after + "\x00"
 }
 
 // --- posts -------------------------------------------------------------------
@@ -215,9 +304,11 @@ func (c *Catalog) AppendPost(p PostRec) (uint64, error) {
 	seq++
 	c.nextSeq[p.ResourceID] = seq
 	c.mu.Unlock()
-	if err := c.db.Put(TablePosts, postKey(p.ResourceID, seq), p); err != nil {
+	key := postKey(p.ResourceID, seq)
+	if err := c.db.Put(TablePosts, key, p); err != nil {
 		return 0, err
 	}
+	c.invalidate(TablePosts, key)
 	return seq, nil
 }
 
@@ -226,8 +317,7 @@ func (c *Catalog) recoverSeqLocked(resourceID string) uint64 {
 	var max uint64
 	prefix := resourceID + "/"
 	c.db.ScanPrefix(TablePosts, prefix, func(key string, _ []byte) bool {
-		var s uint64
-		if _, err := fmt.Sscanf(strings.TrimPrefix(key, prefix), "%d", &s); err == nil && s > max {
+		if s, err := strconv.ParseUint(strings.TrimPrefix(key, prefix), 10, 64); err == nil && s > max {
 			max = s
 		}
 		return true
@@ -235,13 +325,16 @@ func (c *Catalog) recoverSeqLocked(resourceID string) uint64 {
 	return max
 }
 
-// PostsOf returns a resource's posts in sequence order.
+// PostsOf returns a resource's posts in sequence order. Post records are
+// immutable apart from judging, so the long tail of already-decoded posts
+// comes straight from the record cache.
 func (c *Catalog) PostsOf(resourceID string) ([]PostRec, error) {
+	seq := c.scanSeq(TablePosts)
 	var out []PostRec
 	var scanErr error
 	c.db.ScanPrefix(TablePosts, resourceID+"/", func(key string, raw []byte) bool {
-		var p PostRec
-		if err := unmarshal(raw, &p); err != nil {
+		p, err := decodeCached[PostRec](c, TablePosts, key, raw, seq)
+		if err != nil {
 			scanErr = fmt.Errorf("store: post %s: %w", key, err)
 			return false
 		}
@@ -251,14 +344,10 @@ func (c *Catalog) PostsOf(resourceID string) ([]PostRec, error) {
 	return out, scanErr
 }
 
-// CountPosts returns the number of posts stored for a resource.
+// CountPosts returns the number of posts stored for a resource — an index
+// range count, no iteration.
 func (c *Catalog) CountPosts(resourceID string) int {
-	n := 0
-	c.db.ScanPrefix(TablePosts, resourceID+"/", func(string, []byte) bool {
-		n++
-		return true
-	})
-	return n
+	return c.db.CountPrefix(TablePosts, resourceID+"/")
 }
 
 // UpdatePost rewrites the post at the given sequence (e.g. to set Approved).
@@ -267,14 +356,16 @@ func (c *Catalog) UpdatePost(resourceID string, seq uint64, p PostRec) error {
 	if !c.db.Has(TablePosts, key) {
 		return ErrNotFound
 	}
-	return c.db.Put(TablePosts, key, p)
+	if err := c.db.Put(TablePosts, key, p); err != nil {
+		return err
+	}
+	c.invalidate(TablePosts, key)
+	return nil
 }
 
 // GetPost loads one post by sequence number.
 func (c *Catalog) GetPost(resourceID string, seq uint64) (PostRec, error) {
-	var p PostRec
-	err := c.db.Get(TablePosts, postKey(resourceID, seq), &p)
-	return p, err
+	return catGet[PostRec](c, TablePosts, postKey(resourceID, seq))
 }
 
 // --- projects ------------------------------------------------------------------
@@ -284,33 +375,47 @@ func (c *Catalog) PutProject(p ProjectRec) error {
 	if p.ID == "" {
 		return errors.New("store: project ID required")
 	}
-	return c.db.Put(TableProjects, p.ID, p)
+	if err := c.db.Put(TableProjects, p.ID, p); err != nil {
+		return err
+	}
+	c.invalidate(TableProjects, p.ID)
+	return nil
 }
 
 // GetProject loads a project.
 func (c *Catalog) GetProject(id string) (ProjectRec, error) {
-	var p ProjectRec
-	err := c.db.Get(TableProjects, id, &p)
-	return p, err
+	return catGet[ProjectRec](c, TableProjects, id)
 }
 
 // ListProjects returns all projects in ID order, optionally filtered by
 // provider.
 func (c *Catalog) ListProjects(providerID string) ([]ProjectRec, error) {
 	var out []ProjectRec
-	var scanErr error
-	c.db.Scan(TableProjects, func(key string, raw []byte) bool {
-		var p ProjectRec
-		if err := unmarshal(raw, &p); err != nil {
-			scanErr = fmt.Errorf("store: project %s: %w", key, err)
-			return false
-		}
+	err := c.ScanProjectsAfter("", func(p ProjectRec) bool {
 		if providerID == "" || p.ProviderID == providerID {
 			out = append(out, p)
 		}
 		return true
 	})
-	return out, scanErr
+	return out, err
+}
+
+// ScanProjectsAfter visits projects in ID order, starting strictly after
+// the given ID ("" = from the beginning), decoding through the record
+// cache; fn returning false stops the scan. It is the range primitive
+// behind cursor-paginated project listings.
+func (c *Catalog) ScanProjectsAfter(after string, fn func(ProjectRec) bool) error {
+	seq := c.scanSeq(TableProjects)
+	var scanErr error
+	c.db.ScanRange(TableProjects, afterStart(after), "", 0, func(key string, raw []byte) bool {
+		p, err := decodeCached[ProjectRec](c, TableProjects, key, raw, seq)
+		if err != nil {
+			scanErr = fmt.Errorf("store: project %s: %w", key, err)
+			return false
+		}
+		return fn(p)
+	})
+	return scanErr
 }
 
 // --- tasks ---------------------------------------------------------------------
@@ -322,24 +427,29 @@ func (c *Catalog) PutTask(t TaskRec) error {
 	if t.ID == "" || t.ProjectID == "" {
 		return errors.New("store: task needs ID and project ID")
 	}
-	return c.db.Put(TableTasks, taskKey(t.ProjectID, t.ID), t)
+	key := taskKey(t.ProjectID, t.ID)
+	if err := c.db.Put(TableTasks, key, t); err != nil {
+		return err
+	}
+	c.invalidate(TableTasks, key)
+	return nil
 }
 
 // GetTask loads a task.
 func (c *Catalog) GetTask(projectID, taskID string) (TaskRec, error) {
-	var t TaskRec
-	err := c.db.Get(TableTasks, taskKey(projectID, taskID), &t)
-	return t, err
+	return catGet[TaskRec](c, TableTasks, taskKey(projectID, taskID))
 }
 
 // TasksByProject returns a project's tasks, optionally filtered by status
-// ("" = all).
+// ("" = all). The project prefix is a shard-local index range, and decoded
+// task records come from the cache.
 func (c *Catalog) TasksByProject(projectID string, status TaskStatus) ([]TaskRec, error) {
+	seq := c.scanSeq(TableTasks)
 	var out []TaskRec
 	var scanErr error
 	c.db.ScanPrefix(TableTasks, projectID+"/", func(key string, raw []byte) bool {
-		var t TaskRec
-		if err := unmarshal(raw, &t); err != nil {
+		t, err := decodeCached[TaskRec](c, TableTasks, key, raw, seq)
+		if err != nil {
 			scanErr = fmt.Errorf("store: task %s: %w", key, err)
 			return false
 		}
@@ -358,23 +468,26 @@ func (c *Catalog) PutUser(u UserRec) error {
 	if u.ID == "" {
 		return errors.New("store: user ID required")
 	}
-	return c.db.Put(TableUsers, u.ID, u)
+	if err := c.db.Put(TableUsers, u.ID, u); err != nil {
+		return err
+	}
+	c.invalidate(TableUsers, u.ID)
+	return nil
 }
 
 // GetUser loads a user.
 func (c *Catalog) GetUser(id string) (UserRec, error) {
-	var u UserRec
-	err := c.db.Get(TableUsers, id, &u)
-	return u, err
+	return catGet[UserRec](c, TableUsers, id)
 }
 
 // ListUsers returns users in ID order, optionally filtered by role.
 func (c *Catalog) ListUsers(role Role) ([]UserRec, error) {
+	seq := c.scanSeq(TableUsers)
 	var out []UserRec
 	var scanErr error
 	c.db.Scan(TableUsers, func(key string, raw []byte) bool {
-		var u UserRec
-		if err := unmarshal(raw, &u); err != nil {
+		u, err := decodeCached[UserRec](c, TableUsers, key, raw, seq)
+		if err != nil {
 			scanErr = fmt.Errorf("store: user %s: %w", key, err)
 			return false
 		}
@@ -384,8 +497,4 @@ func (c *Catalog) ListUsers(role Role) ([]UserRec, error) {
 		return true
 	})
 	return out, scanErr
-}
-
-func unmarshal(raw []byte, out any) error {
-	return json.Unmarshal(raw, out)
 }

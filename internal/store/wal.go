@@ -398,6 +398,9 @@ func (db *DB) writeAndApply(writes []*pendingCommit, forceSync bool) error {
 		for _, c := range writes {
 			db.applyLocked(c.rec)
 		}
+		// Publish the batch's index rebuild before the commit barriers
+		// release, so an acked write is immediately reader-visible.
+		db.refreshIndexLocked()
 		db.mu.Unlock()
 		w.lastApplied = writes[len(writes)-1].rec.Seq // enqueue order == seq order
 		db.st.commits.Add(uint64(len(writes)))
@@ -465,7 +468,7 @@ func (db *DB) maybeAutoCompact() {
 		return
 	}
 	db.mu.Lock()
-	busy := db.compacting || db.closed
+	busy := db.compacting || db.closed.Load()
 	db.mu.Unlock()
 	if busy {
 		return
@@ -497,7 +500,7 @@ func (db *DB) performCut() (*cutState, error) {
 	}
 	w.smu.Unlock()
 	db.mu.Lock()
-	if db.closed {
+	if db.closed.Load() {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}

@@ -3,12 +3,12 @@
 # committed acceptance gates.
 #
 # Each gated experiment (S3 store contention, S5 group-commit WAL, S6
-# interned quality hot path) embeds its measured speedup ratio and the
-# committed minimum in its BENCH_*.json artifact. CI's bench-smoke job
-# calls this script on the *committed* artifacts first — failing a build
-# that commits a baseline below its own gate — and then reruns the
-# experiments with `-record`, which itself exits non-zero if any freshly
-# measured ratio regresses below the gate. The comparator is
+# interned quality hot path, S7 serving read path) embeds its measured
+# speedup ratio and the committed minimum in its BENCH_*.json artifact.
+# CI's bench-smoke job calls this script on the *committed* artifacts
+# first — failing a build that commits a baseline below its own gate —
+# and then reruns the experiments with `-record`, which itself exits
+# non-zero if any freshly measured ratio regresses below the gate. The comparator is
 # `itag-bench -verify-gates`, so no jq or python dependency is needed.
 #
 # Usage: scripts/bench_gate.sh [BENCH_file.json ...]   (default: BENCH_*.json)
@@ -19,7 +19,7 @@ if [ "$#" -eq 0 ]; then
   set -- BENCH_*.json
 fi
 if [ ! -e "$1" ]; then
-  echo "bench_gate.sh: no BENCH_*.json artifacts found (run: go run ./cmd/itag-bench -experiment s3,s5,s6 -record)" >&2
+  echo "bench_gate.sh: no BENCH_*.json artifacts found (run: go run ./cmd/itag-bench -experiment s3,s5,s6,s7 -record)" >&2
   exit 2
 fi
 
