@@ -3,7 +3,7 @@ GO ?= go
 # Fuzz budget per target; CI smoke uses the default, nightly passes 10m.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-full fuzz lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-gate clean
+.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-gate clean
 
 all: check
 
@@ -17,10 +17,11 @@ vet:
 	$(GO) vet ./...
 
 # Concurrent stress under the race detector (PR acceptance gate): the store
-# and core suites plus the interned quality hot path and its parity
-# property tests (quality + rfd + vocab interner).
+# and core suites, the interned quality hot path and its parity property
+# tests (quality + rfd + vocab interner), and the HTTP layer (lock-free
+# metrics scrapes vs request writers).
 race:
-	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/...
+	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/... ./internal/api/... ./internal/server/...
 
 # Everything under the race detector (nightly).
 race-full:
@@ -32,6 +33,15 @@ race-full:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRecovery$$' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzExposition$$' -fuzztime $(FUZZTIME) ./internal/api
+
+# Prometheus exposition conformance: golden + grammar + histogram
+# semantics + taxonomy/docs drift (CI metrics-conformance step).
+metrics-conformance:
+	$(GO) test ./internal/api -run 'Exposition|Histogram|FloatFormatting|FamiliesStableOrder|BucketIndex|Observe'
+	$(GO) test ./internal/errs
+	$(GO) test ./internal/server -run 'Taxonomy|FaultInjection|Corruption|SSEDropped|ScrapeRace|APIDocs'
+	./scripts/test_bench_gate.sh
 
 # Static analysis beyond vet (CI lint job; tools fetched on demand).
 lint:

@@ -48,8 +48,12 @@ const (
 	CodeInvalidRequest  = "invalid_request"
 	CodeInvalidArgument = "invalid_argument"
 	CodeNotFound        = "not_found"
+	CodeConflict        = "conflict"
 	CodeProjectRunning  = "project_running"
 	CodeInvalidRole     = "invalid_role"
+	CodeExhausted       = "exhausted"
+	CodeIOFailure       = "io_failure"
+	CodeCorruption      = "corruption"
 	CodeBatchTooLarge   = "batch_too_large"
 	CodeTimeout         = "timeout"
 	CodeCanceled        = "canceled"

@@ -176,7 +176,11 @@ func runVerifyGates(paths []string) int {
 			continue
 		}
 		if len(res.Gates) == 0 {
-			fmt.Fprintf(os.Stderr, "itag-bench: %s: no gates recorded (%s)\n", path, res.ID)
+			// A gated artifact with no Gates key means the experiment was
+			// recorded by an older binary or the file was hand-edited; letting
+			// it pass would silently disable the gate.
+			fmt.Fprintf(os.Stderr, "itag-bench: %s: no gates recorded (%s) — refusing to pass an ungated artifact\n", path, res.ID)
+			failed++
 			continue
 		}
 		fails := res.GateFailures()

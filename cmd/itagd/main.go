@@ -26,10 +26,13 @@
 // sealed WAL bytes exceed the threshold, keeping recovery time flat.
 //
 // With -debug-addr a second listener (never exposed through the API
-// address) serves net/http/pprof under /debug/pprof/ and expvar under
-// /debug/vars, so a live daemon can be profiled while it serves traffic:
+// address) serves the operational surface: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, and the Prometheus text
+// exposition at GET /metrics, so a live daemon can be profiled and scraped
+// while it serves traffic:
 //
 //	itagd -debug-addr localhost:6060 &
+//	curl http://localhost:6060/metrics
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=15
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
@@ -58,22 +61,35 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	dbPath := flag.String("db", "itag.wal", "WAL file (or directory with -shards > 1); empty for in-memory")
-	shards := flag.Int("shards", 1, "store shard count (>1 partitions keys across locks)")
-	seed := flag.Int64("seed", 42, "seed for simulated platforms and worlds")
-	syncEvery := flag.Int("sync-every", 1, "fsync the WAL after every N committed records (0 disables fsync)")
-	groupCommit := flag.Duration("group-commit", 0, "group-commit coalescing window (0 = natural batching; negative = synchronous per-record appends)")
-	segmentBytes := flag.Int64("segment-bytes", store.DefaultSegmentBytes, "rotate WAL segments beyond this size (negative disables rotation)")
-	autoCompact := flag.Int64("auto-compact", 64<<20, "background-snapshot the store when sealed WAL bytes exceed this (0 disables)")
-	quiet := flag.Bool("quiet", false, "disable request logging")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this address (separate listener; empty disables)")
-	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
-	routeTimeout := flag.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
-	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
-	flag.Parse()
-
 	logger := log.New(os.Stderr, "itagd ", log.LstdFlags)
+	if err := run(os.Args[1:], logger, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "itagd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, separated from main so the boot test can drive a
+// full start → serve → SIGTERM-drain cycle in-process. ready (optional) is
+// called once both listeners are bound, with their resolved addresses
+// (debug address "" when -debug-addr is off).
+func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string)) error {
+	fs := flag.NewFlagSet("itagd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dbPath := fs.String("db", "itag.wal", "WAL file (or directory with -shards > 1); empty for in-memory")
+	shards := fs.Int("shards", 1, "store shard count (>1 partitions keys across locks)")
+	seed := fs.Int64("seed", 42, "seed for simulated platforms and worlds")
+	syncEvery := fs.Int("sync-every", 1, "fsync the WAL after every N committed records (0 disables fsync)")
+	groupCommit := fs.Duration("group-commit", 0, "group-commit coalescing window (0 = natural batching; negative = synchronous per-record appends)")
+	segmentBytes := fs.Int64("segment-bytes", store.DefaultSegmentBytes, "rotate WAL segments beyond this size (negative disables rotation)")
+	autoCompact := fs.Int64("auto-compact", 64<<20, "background-snapshot the store when sealed WAL bytes exceed this (0 disables)")
+	quiet := fs.Bool("quiet", false, "disable request logging")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, /debug/vars and Prometheus /metrics on this address (separate listener; empty disables)")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
+	routeTimeout := fs.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	storeOpts := store.Options{
 		SyncEvery:         *syncEvery,
@@ -92,7 +108,7 @@ func main() {
 	case *shards > 1:
 		sh, err := store.OpenSharded(*dbPath, *shards, storeOpts)
 		if err != nil {
-			logger.Fatalf("open sharded store: %v", err)
+			return fmt.Errorf("open sharded store: %w", err)
 		}
 		st := sh.Stats()
 		logger.Printf("store: %s (%d shards, seq %d, %d segments, recovered %d records in %.1fms)",
@@ -101,7 +117,7 @@ func main() {
 	default:
 		wal, err := store.Open(*dbPath, storeOpts)
 		if err != nil {
-			logger.Fatalf("open store: %v", err)
+			return fmt.Errorf("open store: %w", err)
 		}
 		st := wal.Stats()
 		logger.Printf("store: %s (seq %d, %d segments, recovered %d records in %.1fms)",
@@ -109,31 +125,6 @@ func main() {
 		db = wal
 	}
 	defer db.Close()
-
-	// The debug listener is deliberately separate from the API listener so
-	// profiling endpoints are never reachable through the public address and
-	// a heavy profile capture cannot be throttled by API middleware.
-	var dbg *http.Server
-	if *debugAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/debug/vars", expvar.Handler())
-		dbg = &http.Server{
-			Addr:              *debugAddr,
-			Handler:           mux,
-			ReadHeaderTimeout: 5 * time.Second,
-		}
-		go func() {
-			logger.Printf("debug listener on %s (pprof, expvar)", *debugAddr)
-			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("debug listener: %v", err)
-			}
-		}()
-	}
 
 	svc := core.NewService(store.NewCatalog(db), *seed)
 	defer svc.Close()
@@ -143,13 +134,49 @@ func main() {
 	}
 	srv := server.NewWith(svc, server.Options{Logger: reqLog, RouteTimeout: *routeTimeout})
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+
+	// The debug listener is deliberately separate from the API listener so
+	// profiling and scrape endpoints are never reachable through the public
+	// address and a heavy profile capture cannot be throttled by API
+	// middleware.
+	var dbg *http.Server
+	var dbgLn net.Listener
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("GET /metrics", srv.PromHandler())
+		dbgLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("listen %s (debug): %w", *debugAddr, err)
+		}
+		dbg = &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Printf("debug listener on %s (pprof, expvar, /metrics)", dbgLn.Addr())
+			if err := dbg.Serve(dbgLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	// baseCtx is the lifetime of every request context; cancelling it ends
 	// open SSE streams so Shutdown doesn't wait on them forever.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      *writeTimeout,
@@ -200,11 +227,19 @@ func main() {
 		}
 	}()
 
-	logger.Printf("iTag listening on %s (API /api/v1, legacy aliases /api)", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "itagd: %v\n", err)
-		os.Exit(1)
+	if ready != nil {
+		dbgAddr := ""
+		if dbgLn != nil {
+			dbgAddr = dbgLn.Addr().String()
+		}
+		ready(ln.Addr().String(), dbgAddr)
+	}
+
+	logger.Printf("iTag listening on %s (API /api/v1, legacy aliases /api)", ln.Addr())
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	<-done
 	logger.Print("bye")
+	return nil
 }

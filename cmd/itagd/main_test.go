@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBootServeSigtermDrain boots the full daemon in-process on ephemeral
+// ports, verifies both listeners actually serve (API healthz, debug
+// /metrics scrape, pprof index), then delivers a real SIGTERM and asserts
+// the drain path exits cleanly.
+func TestBootServeSigtermDrain(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "itag.wal")
+	ready := make(chan [2]string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(
+			[]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-db", dbPath, "-quiet", "-grace", "10s"},
+			log.New(io.Discard, "", 0),
+			func(apiAddr, debugAddr string) { ready <- [2]string{apiAddr, debugAddr} },
+		)
+	}()
+
+	var apiAddr, dbgAddr string
+	select {
+	case addrs := <-ready:
+		apiAddr, dbgAddr = addrs[0], addrs[1]
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := get("http://" + apiAddr + "/api/v1/healthz"); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", status, body)
+	}
+	// Create real traffic so the scrape has route samples.
+	resp, err := http.Post("http://"+apiAddr+"/api/v1/providers", "application/json", strings.NewReader(`{"name":"p"}`))
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("provider create: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	if status, body := get("http://" + dbgAddr + "/metrics"); status != http.StatusOK ||
+		!strings.Contains(body, "itag_http_requests_total") ||
+		!strings.Contains(body, "itag_store_commits_total") {
+		t.Errorf("debug /metrics = %d (len %d)", status, len(body))
+	}
+	if status, _ := get("http://" + dbgAddr + "/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("pprof index status = %d", status)
+	}
+	// The scrape endpoint must not leak onto the API listener.
+	if status, _ := get("http://" + apiAddr + "/metrics"); status != http.StatusNotFound {
+		t.Errorf("API-listener /metrics status = %d, want 404", status)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain exit = %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -13,21 +13,81 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"itag/internal/errs"
 )
 
 // Machine-readable error codes carried in the v1 error envelope. Clients
-// switch on these, never on message text.
+// switch on these, never on message text. Taxonomy-carried errors
+// (internal/errs) derive their code and status from their category, so
+// most of these constants are now aliases of errs category defaults; the
+// rest are transport-level conditions the handler kit raises itself.
 const (
 	CodeInvalidRequest  = "invalid_request"  // malformed body / unknown fields
-	CodeInvalidArgument = "invalid_argument" // validation or state error
-	CodeNotFound        = "not_found"        // store.ErrNotFound
-	CodeProjectRunning  = "project_running"  // core.ErrProjectRunning
-	CodeInvalidRole     = "invalid_role"     // user exists but has the wrong role
+	CodeInvalidArgument = "invalid_argument" // validation or state error (errs.CategoryValidation)
+	CodeNotFound        = "not_found"        // errs.CategoryNotFound
+	CodeConflict        = "conflict"         // errs.CategoryConflict
+	CodeProjectRunning  = "project_running"  // core.ErrProjectRunning (conflict refinement)
+	CodeInvalidRole     = "invalid_role"     // wrong-role user (validation refinement)
+	CodeExhausted       = "exhausted"        // errs.CategoryExhausted: budget / post source ran out
+	CodeIOFailure       = "io_failure"       // errs.CategoryIO: store disk failure
+	CodeCorruption      = "corruption"       // errs.CategoryCorruption: integrity check failed
 	CodeBatchTooLarge   = "batch_too_large"  // batch exceeds the per-call cap
 	CodeTimeout         = "timeout"          // per-route deadline exceeded
 	CodeCanceled        = "canceled"         // client disconnected mid-request
 	CodeInternal        = "internal"         // panic or unexpected failure
 )
+
+// CodeSpec is one row of the error-code contract: the envelope code, the
+// HTTP status it rides on, the taxonomy category it derives from, and the
+// one-line description the docs table renders. CodeTable is the single
+// source of truth docs/API.md is generated from (a test pins them
+// together).
+type CodeSpec struct {
+	Code     string
+	Status   int
+	Category errs.Category
+	Doc      string
+}
+
+// CodeTable enumerates every machine-readable code the server can emit,
+// in documentation order. Codes are unique; statuses follow the taxonomy
+// category except for the transport-level refinements noted inline.
+func CodeTable() []CodeSpec {
+	return []CodeSpec{
+		{CodeInvalidRequest, http.StatusBadRequest, errs.CategoryValidation, "malformed body: bad JSON, unknown fields, trailing garbage"},
+		{CodeInvalidArgument, http.StatusBadRequest, errs.CategoryValidation, "validation or state error (bad strategy, unknown run, bad cursor/limit, ...)"},
+		{CodeInvalidRole, http.StatusBadRequest, errs.CategoryValidation, "user exists but has the wrong role"},
+		{CodeBatchTooLarge, http.StatusRequestEntityTooLarge, errs.CategoryValidation, "batch exceeds the per-call cap"},
+		{CodeNotFound, http.StatusNotFound, errs.CategoryNotFound, "the referenced entity does not exist"},
+		{CodeConflict, http.StatusConflict, errs.CategoryConflict, "valid request, conflicting current state (e.g. post already judged)"},
+		{CodeProjectRunning, http.StatusConflict, errs.CategoryConflict, "operation requires a stopped run"},
+		{CodeExhausted, http.StatusConflict, errs.CategoryExhausted, "a budget or post source ran out"},
+		{CodeIOFailure, http.StatusInternalServerError, errs.CategoryIO, "store disk or filesystem failure"},
+		{CodeCorruption, http.StatusInternalServerError, errs.CategoryCorruption, "stored data failed an integrity check"},
+		{CodeTimeout, http.StatusGatewayTimeout, errs.CategoryCanceled, "per-route deadline exceeded"},
+		{CodeCanceled, 499, errs.CategoryCanceled, "client disconnected mid-request"},
+		{CodeInternal, http.StatusInternalServerError, errs.CategoryInternal, "panic or unexpected failure"},
+	}
+}
+
+// codeCategories maps every envelope code back to its taxonomy category —
+// how non-taxonomy errors (api-level Errorf, mapper fallbacks) are
+// attributed in the error metrics.
+var codeCategories = func() map[string]errs.Category {
+	m := make(map[string]errs.Category)
+	for _, spec := range CodeTable() {
+		m[spec.Code] = spec.Category
+	}
+	return m
+}()
+
+// FromTaxonomy derives the transport error for a taxonomy error: status
+// from the category, code from the category default or the sentinel's
+// WithCode refinement, message from the full error chain.
+func FromTaxonomy(te *errs.Error, err error) *Error {
+	return Wrap(te.HTTPStatus(), te.Code(), err)
+}
 
 // Error is a transport-ready error: an HTTP status, a machine-readable
 // code, and a human message. Handlers may return one directly; anything
@@ -91,6 +151,13 @@ func (k *Kit) WriteError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 	if ae == nil {
 		ae = Wrap(http.StatusBadRequest, CodeInvalidArgument, err)
+	}
+	if k.Metrics != nil {
+		comp, cat := errs.ComponentOf(err), errs.CategoryOf(err)
+		if cat == "" {
+			cat = codeCategories[ae.Code]
+		}
+		k.Metrics.ObserveError(comp, cat)
 	}
 	if IsLegacy(r.Context()) {
 		WriteJSON(w, ae.Status, legacyEnvelope{Error: ae.Error()})

@@ -7,7 +7,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -15,6 +14,7 @@ import (
 
 	"itag/internal/crowd"
 	"itag/internal/dataset"
+	"itag/internal/errs"
 	"itag/internal/quality"
 	"itag/internal/rfd"
 	"itag/internal/rng"
@@ -25,11 +25,11 @@ import (
 
 // ErrResourceExhausted is reported by replay post sources when a resource
 // has no held-out posts left; the engine stops allocating to it.
-var ErrResourceExhausted = errors.New("core: resource post source exhausted")
+var ErrResourceExhausted error = errs.New(errs.ComponentCore, errs.CategoryExhausted, "resource post source exhausted")
 
 // ErrStalled is returned by Run when the platform stops making progress
 // (e.g. every worker disqualified) with tasks still outstanding.
-var ErrStalled = errors.New("core: platform stalled with outstanding tasks")
+var ErrStalled error = errs.New(errs.ComponentCore, errs.CategoryInternal, "platform stalled with outstanding tasks")
 
 // Judge decides whether a completed task's post is approved by the
 // provider. Approved posts enter the resource's statistics and pay the
@@ -88,19 +88,19 @@ type Config struct {
 
 func (c Config) validate() error {
 	if len(c.Resources) == 0 {
-		return errors.New("core: at least one resource required")
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "at least one resource required")
 	}
 	if c.Strategy == nil {
-		return errors.New("core: strategy required")
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "strategy required")
 	}
 	if c.Budget <= 0 {
-		return fmt.Errorf("core: budget must be positive, got %d", c.Budget)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "budget must be positive, got %d", c.Budget)
 	}
 	if c.Platform == nil {
-		return errors.New("core: platform required")
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "platform required")
 	}
 	if c.Judge != nil && c.Users == nil {
-		return errors.New("core: judging requires a users manager")
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "judging requires a users manager")
 	}
 	if err := c.Quality.Validate(); err != nil {
 		return err
@@ -186,10 +186,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	for i, res := range cfg.Resources {
 		if res.ID == "" {
-			return nil, fmt.Errorf("core: resource %d has empty ID", i)
+			return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "resource %d has empty ID", i)
 		}
 		if _, dup := e.index[res.ID]; dup {
-			return nil, fmt.Errorf("core: duplicate resource ID %q", res.ID)
+			return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "duplicate resource ID %q", res.ID)
 		}
 		e.index[res.ID] = i
 		e.trackers[i] = quality.NewTrackerShared(cfg.Quality, in)
@@ -200,7 +200,7 @@ func New(cfg Config) (*Engine, error) {
 	for id, posts := range cfg.SeedPosts {
 		i, ok := e.index[id]
 		if !ok {
-			return nil, fmt.Errorf("core: seed posts for unknown resource %q", id)
+			return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "seed posts for unknown resource %q", id)
 		}
 		for _, tags := range posts {
 			if err := e.trackers[i].AddPost(tags); err != nil {
@@ -426,7 +426,7 @@ func (e *Engine) Promote(resourceID string) error {
 	defer e.mu.Unlock()
 	i, ok := e.index[resourceID]
 	if !ok {
-		return fmt.Errorf("core: unknown resource %q", resourceID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown resource %q", resourceID)
 	}
 	e.promoted[i] = true
 	e.monitor.Eventf(e.spent, "promote", "resource %s", resourceID)
@@ -448,7 +448,7 @@ func (e *Engine) setStopped(resourceID string, stopped bool) error {
 	defer e.mu.Unlock()
 	i, ok := e.index[resourceID]
 	if !ok {
-		return fmt.Errorf("core: unknown resource %q", resourceID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown resource %q", resourceID)
 	}
 	e.stopped[i] = stopped
 	verb := "stop"
@@ -472,7 +472,7 @@ func (e *Engine) SwitchStrategy(s strategy.Strategy) {
 // budget to the project").
 func (e *Engine) AddBudget(extra int) error {
 	if extra <= 0 {
-		return fmt.Errorf("core: budget extension must be positive, got %d", extra)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "budget extension must be positive, got %d", extra)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -600,7 +600,7 @@ func (e *Engine) Status(resourceID string) (ResourceStatus, error) {
 	defer e.mu.Unlock()
 	i, ok := e.index[resourceID]
 	if !ok {
-		return ResourceStatus{}, fmt.Errorf("core: unknown resource %q", resourceID)
+		return ResourceStatus{}, errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown resource %q", resourceID)
 	}
 	st := ResourceStatus{
 		ID:        resourceID,

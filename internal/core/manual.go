@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"itag/internal/errs"
 )
 
 // This file adds the interactive (audience-participation) path of the demo
@@ -53,10 +53,10 @@ func (e *Engine) SubmitPost(resourceID, taggerID string, tags []string) error {
 	defer e.mu.Unlock()
 	i, ok := e.index[resourceID]
 	if !ok {
-		return fmt.Errorf("core: unknown resource %q", resourceID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown resource %q", resourceID)
 	}
 	if e.pending[i] <= 0 {
-		return fmt.Errorf("core: no outstanding task for resource %q", resourceID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "no outstanding task for resource %q", resourceID)
 	}
 	if err := e.trackers[i].AddPost(tags); err != nil {
 		return err
@@ -77,10 +77,10 @@ func (e *Engine) CancelPending(resourceID string) error {
 	defer e.mu.Unlock()
 	i, ok := e.index[resourceID]
 	if !ok {
-		return fmt.Errorf("core: unknown resource %q", resourceID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown resource %q", resourceID)
 	}
 	if e.pending[i] <= 0 {
-		return fmt.Errorf("core: no outstanding task for resource %q", resourceID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "no outstanding task for resource %q", resourceID)
 	}
 	e.pending[i]--
 	e.alloc[i]--

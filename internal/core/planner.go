@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"itag/internal/dataset"
+	"itag/internal/errs"
 	"itag/internal/quality"
 	"itag/internal/rfd"
 	"itag/internal/rng"
@@ -73,7 +74,7 @@ func SeedCounts(resources []dataset.Resource, seedPosts map[string][][]string) (
 	for id, posts := range seedPosts {
 		i, ok := index[id]
 		if !ok {
-			return nil, fmt.Errorf("core: seed posts for unknown resource %q", id)
+			return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "seed posts for unknown resource %q", id)
 		}
 		for _, tags := range posts {
 			if err := out[i].AddPost(tags); err != nil {
@@ -91,10 +92,10 @@ func EstimateGainTables(sim *taggersim.Simulator, resources []dataset.Resource,
 
 	cfg = cfg.withDefaults()
 	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("core: plan horizon must be positive, got %d", cfg.Horizon)
+		return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "plan horizon must be positive, got %d", cfg.Horizon)
 	}
 	if len(resources) != len(current) {
-		return nil, fmt.Errorf("core: %d resources vs %d count sets", len(resources), len(current))
+		return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "%d resources vs %d count sets", len(resources), len(current))
 	}
 	r := rng.New(cfg.Seed)
 	// One interner spans the whole plan: all resources share the world's

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"encoding/base64"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +10,7 @@ import (
 
 	"itag/internal/crowd"
 	"itag/internal/dataset"
+	"itag/internal/errs"
 	"itag/internal/rng"
 	"itag/internal/store"
 	"itag/internal/strategy"
@@ -60,11 +60,11 @@ type Run struct {
 }
 
 // ErrProjectRunning is returned when an operation requires a stopped run.
-var ErrProjectRunning = errors.New("core: project run already in progress")
+var ErrProjectRunning error = errs.New(errs.ComponentCore, errs.CategoryConflict, "project run already in progress").WithCode("project_running")
 
 // ErrInvalidRole is returned when an operation targets a user that exists
 // but has the wrong role (e.g. rating a tagger as if it were a provider).
-var ErrInvalidRole = errors.New("core: user has the wrong role for this operation")
+var ErrInvalidRole error = errs.New(errs.ComponentCore, errs.CategoryValidation, "user has the wrong role for this operation").WithCode("invalid_role")
 
 // NewService builds a Service over a catalog.
 func NewService(cat *store.Catalog, seed int64) *Service {
@@ -164,13 +164,13 @@ func (s *Service) CreateProject(ctx context.Context, spec ProjectSpec) (string, 
 		return "", err
 	}
 	if spec.ProviderID == "" {
-		return "", errors.New("core: provider ID required")
+		return "", errs.New(errs.ComponentCore, errs.CategoryValidation, "provider ID required")
 	}
 	if _, err := s.cat.GetUser(spec.ProviderID); err != nil {
-		return "", fmt.Errorf("core: unknown provider %q", spec.ProviderID)
+		return "", errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown provider %q", spec.ProviderID)
 	}
 	if spec.Budget <= 0 {
-		return "", errors.New("core: project budget must be positive")
+		return "", errs.New(errs.ComponentCore, errs.CategoryValidation, "project budget must be positive")
 	}
 	if spec.Strategy == "" {
 		spec.Strategy = "fp-mu"
@@ -202,7 +202,7 @@ func (s *Service) CreateProject(ctx context.Context, spec ProjectSpec) (string, 
 		resources = world.Dataset.Resources
 	}
 	if len(resources) == 0 {
-		return "", errors.New("core: project needs at least one resource")
+		return "", errs.New(errs.ComponentCore, errs.CategoryValidation, "project needs at least one resource")
 	}
 
 	err := s.cat.PutProject(store.ProjectRec{
@@ -293,7 +293,7 @@ func (s *Service) buildRun(projectID string, spec ProjectSpec, resources []datas
 		plat, perr := crowd.NewSim(crowd.SimConfig{
 			Workers: SyntheticWorkerIDs(1),
 			Post: func(w, r string) ([]string, error) {
-				return nil, errors.New("core: manual project has no simulated taggers")
+				return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "manual project has no simulated taggers")
 			},
 			Seed: seed,
 		})
@@ -336,7 +336,7 @@ func (s *Service) run(projectID string) (*Run, error) {
 	defer s.mu.Unlock()
 	run, ok := s.runs[projectID]
 	if !ok {
-		return nil, fmt.Errorf("core: no live run for project %q", projectID)
+		return nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "no live run for project %q", projectID)
 	}
 	return run, nil
 }
@@ -354,7 +354,7 @@ func (s *Service) StartSimulation(ctx context.Context, projectID string) error {
 		return err
 	}
 	if run.World == nil {
-		return errors.New("core: project has uploaded resources; use the manual task flow")
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "project has uploaded resources; use the manual task flow")
 	}
 	run.mu.Lock()
 	defer run.mu.Unlock()
@@ -410,7 +410,7 @@ func (s *Service) RunSimulations(ctx context.Context, projectIDs []string, worke
 			return err
 		}
 		if run.World == nil {
-			return fmt.Errorf("core: project %s has uploaded resources; use the manual task flow", id)
+			return errs.New(errs.ComponentCore, errs.CategoryValidation, "project %s has uploaded resources; use the manual task flow", id)
 		}
 		runs[i] = run
 		engines[i] = run.Engine
@@ -470,7 +470,7 @@ func (s *Service) WaitSimulation(ctx context.Context, projectID string) error {
 	ch := run.doneCh
 	run.mu.Unlock()
 	if ch == nil {
-		return errors.New("core: simulation was never started")
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "simulation was never started")
 	}
 	select {
 	case <-ch:
@@ -749,7 +749,7 @@ func (s *Service) QualitySeries(ctx context.Context, projectID, name string) ([]
 	}
 	series := run.Engine.Monitor().Series(name)
 	if series == nil {
-		return nil, nil, fmt.Errorf("core: no series %q", name)
+		return nil, nil, errs.New(errs.ComponentCore, errs.CategoryValidation, "no series %q", name)
 	}
 	pts := series.Points()
 	xs := make([]float64, len(pts))
@@ -781,7 +781,7 @@ func (s *Service) RequestTask(ctx context.Context, projectID, taggerID string) (
 		return store.TaskRec{}, err
 	}
 	if _, err := s.cat.GetUser(taggerID); err != nil {
-		return store.TaskRec{}, fmt.Errorf("core: unknown tagger %q", taggerID)
+		return store.TaskRec{}, errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown tagger %q", taggerID)
 	}
 	run, err := s.run(projectID)
 	if err != nil {
@@ -789,7 +789,7 @@ func (s *Service) RequestTask(ctx context.Context, projectID, taggerID string) (
 	}
 	resourceID, ok := run.Engine.ChooseNext()
 	if !ok {
-		return store.TaskRec{}, errors.New("core: project budget exhausted")
+		return store.TaskRec{}, errs.New(errs.ComponentCore, errs.CategoryExhausted, "project budget exhausted")
 	}
 	run.mu.Lock()
 	run.taskSeq++
@@ -823,7 +823,7 @@ func (s *Service) SubmitTask(ctx context.Context, projectID, taskID string, tags
 	}
 	run.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("core: unknown or already-completed task %q", taskID)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "unknown or already-completed task %q", taskID)
 	}
 	rec, err := s.cat.GetTask(projectID, taskID)
 	if err != nil {
@@ -853,7 +853,7 @@ func (s *Service) JudgePost(ctx context.Context, projectID, resourceID string, s
 		return err
 	}
 	if post.Approved != nil {
-		return fmt.Errorf("core: post %s/%d already judged", resourceID, seq)
+		return errs.New(errs.ComponentCore, errs.CategoryValidation, "post %s/%d already judged", resourceID, seq)
 	}
 	post.Approved = &approved
 	if err := s.cat.UpdatePost(resourceID, seq, post); err != nil {
@@ -967,7 +967,7 @@ func decodeCursor(cursor string) (string, error) {
 	}
 	raw, err := base64.RawURLEncoding.DecodeString(cursor)
 	if err != nil {
-		return "", fmt.Errorf("core: invalid cursor %q", cursor)
+		return "", errs.New(errs.ComponentCore, errs.CategoryValidation, "invalid cursor %q", cursor)
 	}
 	return string(raw), nil
 }

@@ -1,0 +1,249 @@
+// Package errs is iTag's structured error taxonomy: every error produced
+// by the system's own layers carries a component (which subsystem failed),
+// a category (what kind of failure), an optional stable machine-readable
+// code, and ordered key-value context. The taxonomy is the single source
+// the HTTP error envelope, the per-category error metrics and the
+// docs/API.md code table are all derived from — no layer hand-maps
+// individual error strings to statuses anymore.
+//
+// Construction is positional rather than builder-chained so call sites
+// stay one line:
+//
+//	errs.New(errs.ComponentStore, errs.CategoryValidation, "resource ID required")
+//	errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "append wal")
+//	errs.New(errs.ComponentCore, errs.CategoryConflict, "run in progress").WithCode("project_running")
+//
+// Taxonomy errors interoperate with the standard errors package: Wrap
+// keeps the cause reachable through errors.Is/As, and Find/CategoryOf dig
+// a *Error out of any wrap chain (including fmt.Errorf("%w", ...) wraps).
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Component identifies the subsystem an error originated in.
+type Component string
+
+// The components of the system that produce taxonomy errors.
+const (
+	ComponentStore   Component = "store"
+	ComponentCore    Component = "core"
+	ComponentAPI     Component = "api"
+	ComponentQuality Component = "quality"
+	ComponentCrowd   Component = "crowd"
+)
+
+// Components lists every component in stable order.
+func Components() []Component {
+	return []Component{ComponentStore, ComponentCore, ComponentAPI, ComponentQuality, ComponentCrowd}
+}
+
+// Category classifies what kind of failure occurred. The category alone
+// determines the HTTP status an error surfaces with; the code refines the
+// category for clients that switch on specific conditions.
+type Category string
+
+// The failure categories. CategoryInternal is the fallback for panics and
+// failures no layer claimed.
+const (
+	CategoryValidation Category = "validation" // rejected input or state transition
+	CategoryNotFound   Category = "not_found"  // the referenced entity does not exist
+	CategoryConflict   Category = "conflict"   // valid request, conflicting current state
+	CategoryIO         Category = "io"         // disk or filesystem failure
+	CategoryCorruption Category = "corruption" // stored data failed integrity checks
+	CategoryCanceled   Category = "canceled"   // caller went away or deadline expired
+	CategoryExhausted  Category = "exhausted"  // a budget, quota or source ran out
+	CategoryInternal   Category = "internal"   // bug: panic or unclassified failure
+)
+
+// Categories lists every category in stable order.
+func Categories() []Category {
+	return []Category{
+		CategoryValidation, CategoryNotFound, CategoryConflict, CategoryIO,
+		CategoryCorruption, CategoryCanceled, CategoryExhausted, CategoryInternal,
+	}
+}
+
+// statusClientClosedRequest is the nginx convention for "client went away
+// before the response"; net/http has no constant for it.
+const statusClientClosedRequest = 499
+
+// HTTPStatus is the HTTP status every error of this category surfaces
+// with. Unknown categories report 500.
+func (c Category) HTTPStatus() int {
+	switch c {
+	case CategoryValidation:
+		return http.StatusBadRequest
+	case CategoryNotFound:
+		return http.StatusNotFound
+	case CategoryConflict, CategoryExhausted:
+		return http.StatusConflict
+	case CategoryCanceled:
+		return statusClientClosedRequest
+	case CategoryIO, CategoryCorruption, CategoryInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// DefaultCode is the machine-readable envelope code errors of this
+// category carry unless a call site refines it with WithCode.
+// CategoryValidation keeps the pre-taxonomy "invalid_argument" so existing
+// clients' switch statements keep working.
+func (c Category) DefaultCode() string {
+	switch c {
+	case CategoryValidation:
+		return "invalid_argument"
+	case CategoryNotFound:
+		return "not_found"
+	case CategoryConflict:
+		return "conflict"
+	case CategoryIO:
+		return "io_failure"
+	case CategoryCorruption:
+		return "corruption"
+	case CategoryCanceled:
+		return "canceled"
+	case CategoryExhausted:
+		return "exhausted"
+	case CategoryInternal:
+		return "internal"
+	default:
+		return "internal"
+	}
+}
+
+// KV is one key-value context pair attached to an error.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// Error is a structured taxonomy error. The zero value is not useful;
+// construct through New or Wrap.
+type Error struct {
+	component Component
+	category  Category
+	code      string // "" = category default
+	msg       string
+	kv        []KV
+	cause     error
+}
+
+// New builds a taxonomy error with a printf-style message. The message is
+// rendered as "<component>: <message>", matching the package-prefix
+// convention the codebase already used, so wire-visible messages are
+// unchanged by the taxonomy sweep.
+func New(comp Component, cat Category, format string, args ...any) *Error {
+	return &Error{component: comp, category: cat, msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap builds a taxonomy error around a cause: the message renders as
+// "<component>: <message>: <cause>", and the cause stays reachable through
+// errors.Is/As/Unwrap.
+func Wrap(cause error, comp Component, cat Category, format string, args ...any) *Error {
+	return &Error{component: comp, category: cat, msg: fmt.Sprintf(format, args...), cause: cause}
+}
+
+// WithCode refines the envelope code for this specific error (status still
+// follows the category). It mutates and returns e, so it must only be
+// chained onto a freshly constructed error — never onto a shared sentinel.
+func (e *Error) WithCode(code string) *Error {
+	e.code = code
+	return e
+}
+
+// With appends one key-value context pair. Like WithCode it mutates e, so
+// it must only be chained onto freshly constructed errors.
+func (e *Error) With(key string, value any) *Error {
+	e.kv = append(e.kv, KV{Key: key, Value: value})
+	return e
+}
+
+// Error implements the error interface:
+// "<component>: <msg>[: <cause>][ (k=v, ...)]".
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString(string(e.component))
+	b.WriteString(": ")
+	b.WriteString(e.msg)
+	if e.cause != nil {
+		b.WriteString(": ")
+		b.WriteString(e.cause.Error())
+	}
+	if len(e.kv) > 0 {
+		b.WriteString(" (")
+		for i, kv := range e.kv {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%v", kv.Key, kv.Value)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unwrap exposes the wrapped cause for errors.Is/As.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Component reports which subsystem produced the error.
+func (e *Error) Component() Component { return e.component }
+
+// Category reports the failure class.
+func (e *Error) Category() Category { return e.category }
+
+// Code is the stable machine-readable envelope code: the WithCode override
+// if set, the category default otherwise.
+func (e *Error) Code() string {
+	if e.code != "" {
+		return e.code
+	}
+	return e.category.DefaultCode()
+}
+
+// HTTPStatus is the status the error surfaces with over HTTP.
+func (e *Error) HTTPStatus() int { return e.category.HTTPStatus() }
+
+// Context returns the attached key-value pairs in attachment order.
+func (e *Error) Context() []KV { return e.kv }
+
+// Find digs the outermost taxonomy error out of err's wrap chain (nil if
+// the chain holds none).
+func Find(err error) *Error {
+	var te *Error
+	if errors.As(err, &te) {
+		return te
+	}
+	return nil
+}
+
+// CategoryOf reports err's taxonomy category, or "" when err carries none.
+func CategoryOf(err error) Category {
+	if te := Find(err); te != nil {
+		return te.category
+	}
+	return ""
+}
+
+// ComponentOf reports err's taxonomy component, or "" when err carries
+// none.
+func ComponentOf(err error) Component {
+	if te := Find(err); te != nil {
+		return te.component
+	}
+	return ""
+}
+
+// CodeOf reports err's stable code, or "" when err carries none.
+func CodeOf(err error) string {
+	if te := Find(err); te != nil {
+		return te.Code()
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMessageFormat pins the rendered shapes: component prefix, cause
+// chaining, key-value context suffix. The sweep relies on "<component>:
+// <msg>" matching the pre-taxonomy message convention byte for byte.
+func TestMessageFormat(t *testing.T) {
+	e := New(ComponentStore, CategoryNotFound, "key not found")
+	if got := e.Error(); got != "store: key not found" {
+		t.Errorf("plain = %q", got)
+	}
+
+	cause := errors.New("disk on fire")
+	w := Wrap(cause, ComponentStore, CategoryIO, "append wal")
+	if got := w.Error(); got != "store: append wal: disk on fire" {
+		t.Errorf("wrapped = %q", got)
+	}
+
+	c := New(ComponentCore, CategoryValidation, "bad budget").With("project", "p-1").With("budget", -5)
+	if got := c.Error(); got != "core: bad budget (project=p-1, budget=-5)" {
+		t.Errorf("context = %q", got)
+	}
+}
+
+// TestUnwrapInterop proves errors.Is/As see through taxonomy wraps in both
+// directions: a taxonomy error wrapping a stdlib error, and a fmt.Errorf
+// wrap around a taxonomy sentinel.
+func TestUnwrapInterop(t *testing.T) {
+	w := Wrap(fs.ErrNotExist, ComponentStore, CategoryIO, "stat wal")
+	if !errors.Is(w, fs.ErrNotExist) {
+		t.Error("wrapped cause must satisfy errors.Is")
+	}
+
+	sentinel := New(ComponentCore, CategoryConflict, "run in progress").WithCode("project_running")
+	outer := fmt.Errorf("%w: project p-1", sentinel)
+	if !errors.Is(outer, sentinel) {
+		t.Error("fmt-wrapped sentinel must satisfy errors.Is")
+	}
+	if Find(outer) != sentinel {
+		t.Error("Find must dig the sentinel out of a fmt wrap")
+	}
+	if CategoryOf(outer) != CategoryConflict || ComponentOf(outer) != ComponentCore {
+		t.Errorf("CategoryOf/ComponentOf through wrap = %q/%q", CategoryOf(outer), ComponentOf(outer))
+	}
+	if CodeOf(outer) != "project_running" {
+		t.Errorf("CodeOf through wrap = %q", CodeOf(outer))
+	}
+}
+
+// TestNoTaxonomy pins the zero answers for plain errors.
+func TestNoTaxonomy(t *testing.T) {
+	err := errors.New("plain")
+	if Find(err) != nil || CategoryOf(err) != "" || ComponentOf(err) != "" || CodeOf(err) != "" {
+		t.Error("plain errors must carry no taxonomy")
+	}
+}
+
+// TestCategoryTable walks every category and asserts a unique default code
+// and a sane HTTP status — the invariants the envelope derivation and the
+// docs table generation depend on.
+func TestCategoryTable(t *testing.T) {
+	seen := make(map[string]Category)
+	for _, cat := range Categories() {
+		code := cat.DefaultCode()
+		if code == "" {
+			t.Errorf("category %q has no default code", cat)
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("code %q shared by categories %q and %q", code, prev, cat)
+		}
+		seen[code] = cat
+		status := cat.HTTPStatus()
+		if status < 400 || status > 599 {
+			t.Errorf("category %q status = %d", cat, status)
+		}
+		// A code override changes the code but never the status.
+		e := New(ComponentCore, cat, "x").WithCode("special")
+		if e.HTTPStatus() != status {
+			t.Errorf("WithCode changed status for %q", cat)
+		}
+		if e.Code() != "special" {
+			t.Errorf("WithCode not honored for %q", cat)
+		}
+	}
+	// Spot-pin the statuses the API contract documents.
+	pins := map[Category]int{
+		CategoryValidation: http.StatusBadRequest,
+		CategoryNotFound:   http.StatusNotFound,
+		CategoryConflict:   http.StatusConflict,
+		CategoryExhausted:  http.StatusConflict,
+		CategoryCanceled:   499,
+		CategoryIO:         http.StatusInternalServerError,
+		CategoryCorruption: http.StatusInternalServerError,
+		CategoryInternal:   http.StatusInternalServerError,
+	}
+	for cat, want := range pins {
+		if got := cat.HTTPStatus(); got != want {
+			t.Errorf("%q status = %d, want %d", cat, got, want)
+		}
+	}
+}
+
+// TestValidationKeepsLegacyCode pins wire compatibility: validation errors
+// must keep emitting the pre-taxonomy "invalid_argument" code.
+func TestValidationKeepsLegacyCode(t *testing.T) {
+	if got := CategoryValidation.DefaultCode(); got != "invalid_argument" {
+		t.Fatalf("validation code = %q, want invalid_argument", got)
+	}
+}
+
+// TestComponentsStable guards the enumerations the metrics labels and the
+// docs table iterate over.
+func TestComponentsStable(t *testing.T) {
+	if got := fmt.Sprint(Components()); got != "[store core api quality crowd]" {
+		t.Errorf("components = %s", got)
+	}
+	if len(Categories()) != 8 {
+		t.Errorf("categories = %d, want 8", len(Categories()))
+	}
+	for _, cat := range Categories() {
+		if strings.ContainsAny(string(cat), " \n\"\\") {
+			t.Errorf("category %q not label-safe", cat)
+		}
+	}
+}

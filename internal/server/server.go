@@ -49,6 +49,7 @@ import (
 	"itag/internal/api"
 	"itag/internal/core"
 	"itag/internal/dataset"
+	"itag/internal/errs"
 	"itag/internal/store"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	// RouteTimeout bounds every non-streaming route (default 30s; < 0
 	// disables).
 	RouteTimeout time.Duration
+	// SSEBuffer is the per-subscriber notification buffer for the events
+	// stream (default 512). Small values make slow consumers drop sooner;
+	// tests use 1–2 to exercise the drop path deterministically.
+	SSEBuffer int
 }
 
 // Server is the HTTP frontend over a core.Service.
@@ -72,6 +77,7 @@ type Server struct {
 	kit          *api.Kit
 	metrics      *api.Metrics
 	routeTimeout time.Duration
+	sseBuffer    int
 	handler      http.Handler
 }
 
@@ -85,11 +91,15 @@ func NewWith(svc *core.Service, opts Options) *Server {
 	if opts.RouteTimeout == 0 {
 		opts.RouteTimeout = 30 * time.Second
 	}
+	if opts.SSEBuffer <= 0 {
+		opts.SSEBuffer = 512
+	}
 	s := &Server{
 		svc:          svc,
 		mux:          http.NewServeMux(),
 		metrics:      api.NewMetrics(),
 		routeTimeout: opts.RouteTimeout,
+		sseBuffer:    opts.SSEBuffer,
 	}
 	s.kit = &api.Kit{MapError: mapErr, Metrics: s.metrics}
 	s.routes()
@@ -229,23 +239,23 @@ func (s *Server) routes() {
 	s.alias("POST /api/projects/{id}/posts/{rid}/{seq}/judge", judgePost)
 }
 
-// mapErr translates service sentinels into transport errors with
-// machine-readable codes (documented in docs/API.md).
+// mapErr translates service errors into transport errors with
+// machine-readable codes (documented in docs/API.md). Context sentinels win
+// first — a route timeout must surface as timeout even when it interrupts a
+// taxonomy-classified operation. Everything else derives its status and code
+// from the error taxonomy (internal/errs); errors with no taxonomy keep the
+// historical 400/invalid_argument fallback.
 func mapErr(err error) *api.Error {
 	switch {
-	case errors.Is(err, store.ErrNotFound):
-		return api.Wrap(http.StatusNotFound, api.CodeNotFound, err)
-	case errors.Is(err, core.ErrProjectRunning):
-		return api.Wrap(http.StatusConflict, api.CodeProjectRunning, err)
-	case errors.Is(err, core.ErrInvalidRole):
-		return api.Wrap(http.StatusBadRequest, api.CodeInvalidRole, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		return api.Wrap(http.StatusGatewayTimeout, api.CodeTimeout, err)
 	case errors.Is(err, context.Canceled):
 		return api.Wrap(statusClientClosedRequest, api.CodeCanceled, err)
-	default:
-		return api.Wrap(http.StatusBadRequest, api.CodeInvalidArgument, err)
 	}
+	if te := errs.Find(err); te != nil {
+		return api.FromTaxonomy(te, err)
+	}
+	return api.Wrap(http.StatusBadRequest, api.CodeInvalidArgument, err)
 }
 
 // --- users --------------------------------------------------------------------

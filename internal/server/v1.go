@@ -211,7 +211,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.kit.WriteError(w, r, err)
 		return
 	}
-	sub, err := s.svc.Subscribe(r.Context(), projectID, 512)
+	sub, err := s.svc.Subscribe(r.Context(), projectID, s.sseBuffer)
 	if err != nil {
 		s.kit.WriteError(w, r, err)
 		return
@@ -223,6 +223,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			"response writer does not support streaming"))
 		return
 	}
+
+	s.metrics.AddSSEStream(1)
+	defer s.metrics.AddSSEStream(-1)
+	// accounted tracks how many of this subscriber's drops have reached the
+	// metrics registry; the final delta is flushed on the way out so drops
+	// that happen after the last delivered notification (e.g. a stalled
+	// client whose stream is torn down) still count.
+	var accounted int64
+	defer func() {
+		if d := sub.Dropped(); d > accounted {
+			s.metrics.AddSSEDropped(d - accounted)
+		}
+	}()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -266,6 +279,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if d := sub.Dropped(); d > reported {
+				s.metrics.AddSSEDropped(d - accounted)
+				accounted = d
 				if !writeEvent("dropped", map[string]int64{"count": d - reported}) {
 					return
 				}

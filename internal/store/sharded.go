@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"itag/internal/errs"
 )
 
 // Sharded partitions the key space of any number of inner stores so that
@@ -63,13 +65,13 @@ func NewShardedWith(n int, opts Options) *Sharded {
 // shard.
 func OpenSharded(dir string, n int, opts Options) (*Sharded, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("store: shard count must be >= 1, got %d", n)
+		return nil, errs.New(errs.ComponentStore, errs.CategoryValidation, "shard count must be >= 1, got %d", n)
 	}
 	// A shard's WAL is a family of files sharing the shard-NNN.wal base
 	// (legacy file, segments, snapshot); count distinct bases.
 	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.wal*"))
 	if err != nil {
-		return nil, fmt.Errorf("store: scan shard dir: %w", err)
+		return nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "scan shard dir")
 	}
 	existing := make(map[string]bool)
 	for _, m := range matches {
@@ -79,7 +81,7 @@ func OpenSharded(dir string, n int, opts Options) (*Sharded, error) {
 		}
 	}
 	if len(existing) > 0 && len(existing) != n {
-		return nil, fmt.Errorf("store: %s holds %d shards, asked to open %d", dir, len(existing), n)
+		return nil, errs.New(errs.ComponentStore, errs.CategoryValidation, "%s holds %d shards, asked to open %d", dir, len(existing), n)
 	}
 	shards := make([]Store, n)
 	for i := range shards {

@@ -21,6 +21,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"itag/internal/errs"
 )
 
 const snapMagic = "itag-snapshot v1 "
@@ -53,11 +55,11 @@ func snapshotTablesLocked(tables map[string]map[string][]byte) map[string]rawTab
 func writeSnapshotFile(path string, seq uint64, tables map[string]rawTable) error {
 	body, err := json.Marshal(snapshotBody{Seq: seq, Tables: tables})
 	if err != nil {
-		return fmt.Errorf("store: encode snapshot: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryInternal, "encode snapshot")
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("store: create snapshot: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "create snapshot")
 	}
 	bw := bufio.NewWriterSize(f, 1<<18)
 	if _, err := fmt.Fprintf(bw, "%s%08x\n", snapMagic, crc32.ChecksumIEEE(body)); err == nil {
@@ -72,11 +74,11 @@ func writeSnapshotFile(path string, seq uint64, tables map[string]rawTable) erro
 	if err != nil {
 		f.Close()
 		os.Remove(path)
-		return fmt.Errorf("store: write snapshot: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "write snapshot")
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(path)
-		return fmt.Errorf("store: close snapshot: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "close snapshot")
 	}
 	return nil
 }
@@ -85,23 +87,23 @@ func writeSnapshotFile(path string, seq uint64, tables map[string]rawTable) erro
 func loadSnapshotFile(path string) (uint64, map[string]map[string][]byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, nil, fmt.Errorf("store: read snapshot: %w", err)
+		return 0, nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "read snapshot")
 	}
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 || !bytes.HasPrefix(data, []byte(snapMagic)) || nl != len(snapMagic)+8 {
-		return 0, nil, fmt.Errorf("store: snapshot %s: bad header", filepath.Base(path))
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: bad header", filepath.Base(path))
 	}
 	want, err := strconv.ParseUint(string(data[len(snapMagic):nl]), 16, 32)
 	if err != nil {
-		return 0, nil, fmt.Errorf("store: snapshot %s: bad checksum field", filepath.Base(path))
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: bad checksum field", filepath.Base(path))
 	}
 	body := data[nl+1:]
 	if crc32.ChecksumIEEE(body) != uint32(want) {
-		return 0, nil, fmt.Errorf("store: snapshot %s: checksum mismatch", filepath.Base(path))
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: checksum mismatch", filepath.Base(path))
 	}
 	var snap snapshotBody
 	if err := json.Unmarshal(body, &snap); err != nil {
-		return 0, nil, fmt.Errorf("store: snapshot %s: %v", filepath.Base(path), err)
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: %v", filepath.Base(path), err)
 	}
 	tables := make(map[string]map[string][]byte, len(snap.Tables))
 	for name, t := range snap.Tables {

@@ -30,8 +30,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-	"errors"
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -40,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"itag/internal/errs"
 )
 
 // Op is a WAL operation type.
@@ -64,10 +64,10 @@ type Record struct {
 }
 
 // ErrClosed is returned for operations on a closed DB.
-var ErrClosed = errors.New("store: database is closed")
+var ErrClosed error = errs.New(errs.ComponentStore, errs.CategoryConflict, "database is closed")
 
 // ErrNotFound is returned by Get-style helpers when the key is absent.
-var ErrNotFound = errors.New("store: key not found")
+var ErrNotFound error = errs.New(errs.ComponentStore, errs.CategoryNotFound, "key not found")
 
 // DB is an embedded multi-table store.
 type DB struct {
@@ -166,10 +166,10 @@ func OpenMemoryWith(opts Options) *DB {
 // transparently.
 func Open(path string, opts Options) (*DB, error) {
 	if path == "" {
-		return nil, errors.New("store: path required; use OpenMemory for volatile stores")
+		return nil, errs.New(errs.ComponentStore, errs.CategoryValidation, "path required; use OpenMemory for volatile stores")
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, fmt.Errorf("store: mkdir: %w", err)
+		return nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "mkdir")
 	}
 	db := &DB{
 		path:   path,
@@ -221,7 +221,7 @@ func (db *DB) recover() error {
 		db.st.snapshotSeq.Store(seq)
 		db.st.snapshotLoaded = true
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("store: stat snapshot: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "stat snapshot")
 	}
 
 	var torn tornMark
@@ -232,7 +232,7 @@ func (db *DB) recover() error {
 		}
 		w.legacy = db.path
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("store: stat wal: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "stat wal")
 	}
 	segs, err := listSegments(db.path)
 	if err != nil {
@@ -247,13 +247,13 @@ func (db *DB) recover() error {
 		// Drop the torn tail so new appends start on a clean record
 		// boundary instead of gluing onto half a record.
 		if terr := os.Truncate(torn.path, torn.off); terr != nil {
-			return fmt.Errorf("store: truncate torn tail: %w", terr)
+			return errs.Wrap(terr, errs.ComponentStore, errs.CategoryIO, "truncate torn tail")
 		}
 	}
 	if w.legacy != "" {
 		fi, serr := os.Stat(w.legacy)
 		if serr != nil {
-			return fmt.Errorf("store: stat wal: %w", serr)
+			return errs.Wrap(serr, errs.ComponentStore, errs.CategoryIO, "stat wal")
 		}
 		w.legacySize = fi.Size()
 	}
@@ -301,7 +301,7 @@ func (db *DB) recover() error {
 func (db *DB) replayFile(path string, framed bool, torn *tornMark, applied *uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("store: open for replay: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "open for replay")
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<18)
@@ -315,7 +315,7 @@ func (db *DB) replayFile(path string, framed bool, torn *tornMark, applied *uint
 				// mid-append. Tolerated once, and only at the very end of
 				// the log.
 				if torn.seen {
-					return fmt.Errorf("store: second torn record at %s:%d (corruption)", base, lineNo)
+					return errs.New(errs.ComponentStore, errs.CategoryCorruption, "second torn record at %s:%d (corruption)", base, lineNo)
 				}
 				torn.seen, torn.path, torn.off = true, path, off
 			} else {
@@ -327,14 +327,14 @@ func (db *DB) replayFile(path string, framed bool, torn *tornMark, applied *uint
 					perr = json.Unmarshal(bytes.TrimSpace(line), &rec)
 				}
 				if perr != nil {
-					return fmt.Errorf("store: corrupt wal record at %s:%d: %v", base, lineNo, perr)
+					return errs.New(errs.ComponentStore, errs.CategoryCorruption, "corrupt wal record at %s:%d: %v", base, lineNo, perr)
 				}
 				if rec.Seq > db.seq {
 					if torn.seen {
-						return fmt.Errorf("store: wal records follow a torn tail at %s (corruption)", filepath.Base(torn.path))
+						return errs.New(errs.ComponentStore, errs.CategoryCorruption, "wal records follow a torn tail at %s (corruption)", filepath.Base(torn.path))
 					}
 					if framed && rec.Seq != db.seq+1 {
-						return fmt.Errorf("store: wal sequence gap at %s:%d: have %d, want %d", base, lineNo, rec.Seq, db.seq+1)
+						return errs.New(errs.ComponentStore, errs.CategoryCorruption, "wal sequence gap at %s:%d: have %d, want %d", base, lineNo, rec.Seq, db.seq+1)
 					}
 					db.applyLocked(rec)
 					db.seq = rec.Seq
@@ -347,7 +347,7 @@ func (db *DB) replayFile(path string, framed bool, torn *tornMark, applied *uint
 			if rerr == io.EOF {
 				return nil
 			}
-			return fmt.Errorf("store: read wal %s: %w", base, rerr)
+			return errs.Wrap(rerr, errs.ComponentStore, errs.CategoryIO, "read wal %s", base)
 		}
 	}
 }
@@ -483,16 +483,16 @@ func (db *DB) commitSync(op Op, table, key string, value json.RawMessage, batch 
 		return err
 	}
 	if _, werr := w.bw.Write(enc); werr != nil {
-		return fail(fmt.Errorf("store: append wal: %w", werr))
+		return fail(errs.Wrap(werr, errs.ComponentStore, errs.CategoryIO, "append wal"))
 	}
 	if werr := w.bw.Flush(); werr != nil {
-		return fail(fmt.Errorf("store: flush wal: %w", werr))
+		return fail(errs.Wrap(werr, errs.ComponentStore, errs.CategoryIO, "flush wal"))
 	}
 	w.addActiveSize(int64(len(enc)))
 	w.sinceSync++
 	if db.opts.SyncEvery > 0 && w.sinceSync >= db.opts.SyncEvery {
 		if serr := w.file.Sync(); serr != nil {
-			return fail(fmt.Errorf("store: sync wal: %w", serr))
+			return fail(errs.Wrap(serr, errs.ComponentStore, errs.CategoryIO, "sync wal"))
 		}
 		w.sinceSync = 0
 		db.st.fsyncs.Add(1)
@@ -515,7 +515,7 @@ func (db *DB) commitSync(op Op, table, key string, value json.RawMessage, batch 
 func (db *DB) Put(table, key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {
-		return fmt.Errorf("store: marshal value: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryInternal, "marshal value")
 	}
 	return db.commitRecord(OpPut, table, key, raw, nil)
 }
@@ -583,13 +583,13 @@ func (db *DB) Apply(muts []Mutation) error {
 		case OpPut:
 			raw, err := json.Marshal(m.Value)
 			if err != nil {
-				return fmt.Errorf("store: marshal batch value %d: %w", i, err)
+				return errs.Wrap(err, errs.ComponentStore, errs.CategoryInternal, "marshal batch value %d", i)
 			}
 			subs = append(subs, Record{Op: OpPut, Table: m.Table, Key: m.Key, Value: raw})
 		case OpDelete:
 			subs = append(subs, Record{Op: OpDelete, Table: m.Table, Key: m.Key})
 		default:
-			return fmt.Errorf("store: batch mutation %d has invalid op %q", i, m.Op)
+			return errs.New(errs.ComponentStore, errs.CategoryValidation, "batch mutation %d has invalid op %q", i, m.Op)
 		}
 	}
 	return db.commitRecord(OpBatch, "", "", nil, subs)
@@ -839,7 +839,7 @@ func (db *DB) writeSnapshotAndCleanup(cut *cutState) error {
 	if err := os.Rename(tmp, db.path+snapSuffix); err != nil {
 		os.Remove(tmp)
 		db.restoreCovered(cut)
-		return fmt.Errorf("store: snapshot rename: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "snapshot rename")
 	}
 	syncDir(filepath.Dir(db.path))
 	db.st.snapshotSeq.Store(cut.seq)
@@ -862,7 +862,7 @@ func (db *DB) writeSnapshotAndCleanup(cut *cutState) error {
 			continue
 		}
 		if firstErr == nil {
-			firstErr = fmt.Errorf("store: remove compacted wal file: %w", err)
+			firstErr = errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "remove compacted wal file")
 		}
 		if p == db.path {
 			legacyKept = true

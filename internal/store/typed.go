@@ -2,12 +2,13 @@ package store
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"itag/internal/errs"
 )
 
 // This file defines the typed catalog over the generic DB: the schemas the
@@ -226,7 +227,7 @@ func (c *Catalog) DB() Store { return c.db }
 // PutResource stores a resource.
 func (c *Catalog) PutResource(r ResourceRec) error {
 	if r.ID == "" {
-		return errors.New("store: resource ID required")
+		return errs.New(errs.ComponentStore, errs.CategoryValidation, "resource ID required")
 	}
 	if err := c.db.Put(TableResources, r.ID, r); err != nil {
 		return err
@@ -263,7 +264,7 @@ func (c *Catalog) ScanResourcesAfter(after string, fn func(ResourceRec) bool) er
 	c.db.ScanRange(TableResources, afterStart(after), "", 0, func(key string, raw []byte) bool {
 		r, err := decodeCached[ResourceRec](c, TableResources, key, raw, seq)
 		if err != nil {
-			scanErr = fmt.Errorf("store: resource %s: %w", key, err)
+			scanErr = errs.Wrap(err, errs.ComponentStore, errs.CategoryCorruption, "resource %s", key)
 			return false
 		}
 		return fn(r)
@@ -291,10 +292,10 @@ func postKey(resourceID string, seq uint64) string {
 // returns its sequence number (1-based).
 func (c *Catalog) AppendPost(p PostRec) (uint64, error) {
 	if p.ResourceID == "" {
-		return 0, errors.New("store: post resource ID required")
+		return 0, errs.New(errs.ComponentStore, errs.CategoryValidation, "post resource ID required")
 	}
 	if len(p.Tags) == 0 {
-		return 0, errors.New("store: post must have tags")
+		return 0, errs.New(errs.ComponentStore, errs.CategoryValidation, "post must have tags")
 	}
 	c.mu.Lock()
 	seq, ok := c.nextSeq[p.ResourceID]
@@ -335,7 +336,7 @@ func (c *Catalog) PostsOf(resourceID string) ([]PostRec, error) {
 	c.db.ScanPrefix(TablePosts, resourceID+"/", func(key string, raw []byte) bool {
 		p, err := decodeCached[PostRec](c, TablePosts, key, raw, seq)
 		if err != nil {
-			scanErr = fmt.Errorf("store: post %s: %w", key, err)
+			scanErr = errs.Wrap(err, errs.ComponentStore, errs.CategoryCorruption, "post %s", key)
 			return false
 		}
 		out = append(out, p)
@@ -373,7 +374,7 @@ func (c *Catalog) GetPost(resourceID string, seq uint64) (PostRec, error) {
 // PutProject stores a project.
 func (c *Catalog) PutProject(p ProjectRec) error {
 	if p.ID == "" {
-		return errors.New("store: project ID required")
+		return errs.New(errs.ComponentStore, errs.CategoryValidation, "project ID required")
 	}
 	if err := c.db.Put(TableProjects, p.ID, p); err != nil {
 		return err
@@ -410,7 +411,7 @@ func (c *Catalog) ScanProjectsAfter(after string, fn func(ProjectRec) bool) erro
 	c.db.ScanRange(TableProjects, afterStart(after), "", 0, func(key string, raw []byte) bool {
 		p, err := decodeCached[ProjectRec](c, TableProjects, key, raw, seq)
 		if err != nil {
-			scanErr = fmt.Errorf("store: project %s: %w", key, err)
+			scanErr = errs.Wrap(err, errs.ComponentStore, errs.CategoryCorruption, "project %s", key)
 			return false
 		}
 		return fn(p)
@@ -425,7 +426,7 @@ func taskKey(projectID, taskID string) string { return projectID + "/" + taskID 
 // PutTask stores a task under its project.
 func (c *Catalog) PutTask(t TaskRec) error {
 	if t.ID == "" || t.ProjectID == "" {
-		return errors.New("store: task needs ID and project ID")
+		return errs.New(errs.ComponentStore, errs.CategoryValidation, "task needs ID and project ID")
 	}
 	key := taskKey(t.ProjectID, t.ID)
 	if err := c.db.Put(TableTasks, key, t); err != nil {
@@ -450,7 +451,7 @@ func (c *Catalog) TasksByProject(projectID string, status TaskStatus) ([]TaskRec
 	c.db.ScanPrefix(TableTasks, projectID+"/", func(key string, raw []byte) bool {
 		t, err := decodeCached[TaskRec](c, TableTasks, key, raw, seq)
 		if err != nil {
-			scanErr = fmt.Errorf("store: task %s: %w", key, err)
+			scanErr = errs.Wrap(err, errs.ComponentStore, errs.CategoryCorruption, "task %s", key)
 			return false
 		}
 		if status == "" || t.Status == status {
@@ -466,7 +467,7 @@ func (c *Catalog) TasksByProject(projectID string, status TaskStatus) ([]TaskRec
 // PutUser stores a user.
 func (c *Catalog) PutUser(u UserRec) error {
 	if u.ID == "" {
-		return errors.New("store: user ID required")
+		return errs.New(errs.ComponentStore, errs.CategoryValidation, "user ID required")
 	}
 	if err := c.db.Put(TableUsers, u.ID, u); err != nil {
 		return err
@@ -488,7 +489,7 @@ func (c *Catalog) ListUsers(role Role) ([]UserRec, error) {
 	c.db.Scan(TableUsers, func(key string, raw []byte) bool {
 		u, err := decodeCached[UserRec](c, TableUsers, key, raw, seq)
 		if err != nil {
-			scanErr = fmt.Errorf("store: user %s: %w", key, err)
+			scanErr = errs.Wrap(err, errs.ComponentStore, errs.CategoryCorruption, "user %s", key)
 			return false
 		}
 		if role == "" || u.Role == role {

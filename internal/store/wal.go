@@ -35,6 +35,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"itag/internal/errs"
 )
 
 // DefaultSegmentBytes is the WAL segment rotation threshold used when
@@ -73,7 +75,7 @@ const (
 
 // ErrCrashed is the sticky error a DB reports after a failpoint simulated a
 // crash; the on-disk state is whatever the "dead process" left behind.
-var ErrCrashed = errors.New("store: simulated crash (failpoint)")
+var ErrCrashed error = errs.New(errs.ComponentStore, errs.CategoryIO, "simulated crash (failpoint)")
 
 // SetFailpoint installs fn as the crash-injection hook (nil uninstalls).
 // Test instrumentation only; production DBs never set one.
@@ -152,7 +154,7 @@ func (w *wal) openSegment(base string, idx uint64) error {
 	path := segPath(base, idx)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("store: open segment: %w", err)
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "open segment")
 	}
 	size := int64(0)
 	if fi, err := f.Stat(); err == nil {
@@ -180,7 +182,7 @@ type segInfo struct {
 func listSegments(base string) ([]segInfo, error) {
 	matches, err := filepath.Glob(base + segPrefix + "*")
 	if err != nil {
-		return nil, fmt.Errorf("store: list segments: %w", err)
+		return nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "list segments")
 	}
 	segs := make([]segInfo, 0, len(matches))
 	for _, m := range matches {
@@ -190,7 +192,7 @@ func listSegments(base string) ([]segInfo, error) {
 		}
 		fi, serr := os.Stat(m)
 		if serr != nil {
-			return nil, fmt.Errorf("store: stat segment: %w", serr)
+			return nil, errs.Wrap(serr, errs.ComponentStore, errs.CategoryIO, "stat segment")
 		}
 		segs = append(segs, segInfo{idx: idx, path: m, size: fi.Size()})
 	}
@@ -202,7 +204,7 @@ func listSegments(base string) ([]segInfo, error) {
 func frameRecord(rec Record) ([]byte, error) {
 	body, err := json.Marshal(rec)
 	if err != nil {
-		return nil, fmt.Errorf("store: encode wal record: %w", err)
+		return nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryInternal, "encode wal record")
 	}
 	line := make([]byte, 0, len(body)+10)
 	line = append(line, fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))...)
@@ -378,17 +380,17 @@ func (db *DB) writeAndApply(writes []*pendingCommit, forceSync bool) error {
 	}
 	for _, c := range writes {
 		if _, err := w.bw.Write(c.enc); err != nil {
-			return db.fail(fmt.Errorf("store: append wal: %w", err))
+			return db.fail(errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "append wal"))
 		}
 	}
 	if err := w.bw.Flush(); err != nil {
-		return db.fail(fmt.Errorf("store: flush wal: %w", err))
+		return db.fail(errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "flush wal"))
 	}
 	w.addActiveSize(int64(total))
 	w.sinceSync += len(writes)
 	if forceSync || (db.opts.SyncEvery > 0 && w.sinceSync >= db.opts.SyncEvery) {
 		if err := w.file.Sync(); err != nil {
-			return db.fail(fmt.Errorf("store: sync wal: %w", err))
+			return db.fail(errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "sync wal"))
 		}
 		w.sinceSync = 0
 		db.st.fsyncs.Add(1)
@@ -421,13 +423,13 @@ func (db *DB) writeAndApply(writes []*pendingCommit, forceSync bool) error {
 func (db *DB) sealActiveLocked() error {
 	w := db.wal
 	if err := w.bw.Flush(); err != nil {
-		return db.fail(fmt.Errorf("store: seal flush: %w", err))
+		return db.fail(errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "seal flush"))
 	}
 	if err := w.file.Sync(); err != nil {
-		return db.fail(fmt.Errorf("store: seal sync: %w", err))
+		return db.fail(errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "seal sync"))
 	}
 	if err := w.file.Close(); err != nil {
-		return db.fail(fmt.Errorf("store: seal close: %w", err))
+		return db.fail(errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "seal close"))
 	}
 	w.file, w.bw = nil, nil
 	w.sinceSync = 0

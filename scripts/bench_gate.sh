@@ -8,19 +8,43 @@
 # CI's bench-smoke job calls this script on the *committed* artifacts
 # first — failing a build that commits a baseline below its own gate —
 # and then reruns the experiments with `-record`, which itself exits
-# non-zero if any freshly measured ratio regresses below the gate. The comparator is
-# `itag-bench -verify-gates`, so no jq or python dependency is needed.
+# non-zero if any freshly measured ratio regresses below the gate. The
+# comparator is `itag-bench -verify-gates`, so no jq or python dependency
+# is needed.
 #
-# Usage: scripts/bench_gate.sh [BENCH_file.json ...]   (default: BENCH_*.json)
+# In no-argument mode the canonical artifact set is REQUIRED: a missing
+# file fails the gate instead of silently shrinking the set (a glob that
+# matches nothing, or one deleted artifact, must never read as a pass).
+#
+# Usage: scripts/bench_gate.sh [BENCH_file.json ...]
+#   BENCH_GATE_DIR overrides the artifact directory (default: repo root;
+#   used by scripts/test_bench_gate.sh).
 set -eu
-cd "$(dirname "$0")/.."
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+DIR="${BENCH_GATE_DIR:-$ROOT}"
 
 if [ "$#" -eq 0 ]; then
-  set -- BENCH_*.json
+  set -- BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json
 fi
-if [ ! -e "$1" ]; then
-  echo "bench_gate.sh: no BENCH_*.json artifacts found (run: go run ./cmd/itag-bench -experiment s3,s5,s6,s7 -record)" >&2
+
+missing=0
+abs=""
+for f in "$@"; do
+  case "$f" in
+    /*) p="$f" ;;
+    *) p="$DIR/$f" ;;
+  esac
+  if [ ! -f "$p" ]; then
+    echo "bench_gate.sh: missing artifact: $f (run: go run ./cmd/itag-bench -experiment s3,s5,s6,s7 -record)" >&2
+    missing=$((missing + 1))
+    continue
+  fi
+  abs="$abs $p"
+done
+if [ "$missing" -gt 0 ]; then
   exit 2
 fi
 
-exec go run ./cmd/itag-bench -verify-gates "$@"
+cd "$ROOT"
+# shellcheck disable=SC2086
+exec go run ./cmd/itag-bench -verify-gates $abs

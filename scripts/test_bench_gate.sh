@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# test_bench_gate.sh — regression tests for the bench gate itself.
+#
+# The gate once passed silently when artifacts were missing or carried no
+# Gates key; these cases pin the strict behavior:
+#   1. the committed canonical artifacts pass,
+#   2. a missing artifact fails (exit 2),
+#   3. an artifact with no Gates key fails (exit 1),
+#   4. an artifact whose ratio is below its gate fails (exit 1).
+#
+# Run from anywhere: scripts/test_bench_gate.sh
+set -eu
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+GATE="$ROOT/scripts/bench_gate.sh"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "test_bench_gate.sh: FAIL: $1" >&2
+  exit 1
+}
+
+# 1. Committed artifacts pass.
+"$GATE" >/dev/null 2>&1 || fail "committed artifacts did not pass the gate"
+
+# 2. Missing artifact fails with exit 2.
+set +e
+BENCH_GATE_DIR="$TMP" "$GATE" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "missing artifacts exited $rc, want 2"
+
+# 3. No Gates key fails with exit 1.
+printf '{"id":"s7-serving","gates":[]}\n' > "$TMP/BENCH_nogates.json"
+set +e
+"$GATE" "$TMP/BENCH_nogates.json" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "ungated artifact exited $rc, want 1"
+
+# 4. Ratio below the committed minimum fails with exit 1.
+printf '{"id":"s7-serving","gates":[{"name":"serving","ratio":0.5,"min":1.1}]}\n' > "$TMP/BENCH_below.json"
+set +e
+"$GATE" "$TMP/BENCH_below.json" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "below-gate artifact exited $rc, want 1"
+
+echo "test_bench_gate.sh: ok"
