@@ -3,7 +3,7 @@ GO ?= go
 # Fuzz budget per target; CI smoke uses the default, nightly passes 10m.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-gate clean
+.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-cluster bench-gate clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 # tests (quality + rfd + vocab interner), and the HTTP layer (lock-free
 # metrics scrapes vs request writers).
 race:
-	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/... ./internal/api/... ./internal/server/...
+	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/... ./internal/api/... ./internal/server/... ./internal/cluster/...
 
 # Everything under the race detector (nightly).
 race-full:
@@ -77,6 +77,11 @@ bench-quality:
 # (S7), recorded to BENCH_serving.json; fails if the 3x gate is missed.
 bench-serving:
 	$(GO) run ./cmd/itag-bench -experiment s7 -record
+
+# 3-node cluster vs single node plus the kill-a-node drill (S8), recorded
+# to BENCH_cluster.json; fails if the 2x gate or the drill is missed.
+bench-cluster:
+	$(GO) run ./cmd/itag-bench -experiment s8 -record
 
 # Re-check recorded BENCH_*.json artifacts against their committed gates.
 bench-gate:

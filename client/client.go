@@ -28,6 +28,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // APIError is a non-2xx v1 response, decoded from the error envelope.
@@ -36,6 +37,9 @@ type APIError struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	RequestID string `json:"request_id,omitempty"`
+	// OwnerHint is the owning node's address from X-Itag-Owner, set on
+	// CodeNotOwner responses from a cluster node.
+	OwnerHint string `json:"-"`
 }
 
 // Error implements the error interface.
@@ -55,6 +59,7 @@ const (
 	CodeIOFailure       = "io_failure"
 	CodeCorruption      = "corruption"
 	CodeBatchTooLarge   = "batch_too_large"
+	CodeNotOwner        = "not_owner"
 	CodeTimeout         = "timeout"
 	CodeCanceled        = "canceled"
 	CodeInternal        = "internal"
@@ -62,8 +67,10 @@ const (
 
 // Client talks to one itagd server.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	hdr   http.Header // extra headers sent on every request (nil = none)
+	retry retryPolicy
 }
 
 // New builds a Client for the server at base (e.g. "http://localhost:8080").
@@ -72,24 +79,64 @@ func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient, retry: defaultRetry}
 }
 
-// do sends one JSON exchange; out may be nil to discard the body.
+// WithHeader returns a copy of the client that sends the header on every
+// request (e.g. X-Itag-Read: follower for cluster follower reads).
+func (c *Client) WithHeader(key, value string) *Client {
+	nc := *c
+	nc.hdr = c.hdr.Clone()
+	if nc.hdr == nil {
+		nc.hdr = http.Header{}
+	}
+	nc.hdr.Set(key, value)
+	return &nc
+}
+
+// WithRetry returns a copy of the client using the given retry budget:
+// attempts total tries (minimum 1) with jittered exponential backoff
+// starting at base. See retryPolicy for what is considered retryable.
+func (c *Client) WithRetry(attempts int, base time.Duration) *Client {
+	nc := *c
+	nc.retry = retryPolicy{attempts: attempts, base: base}
+	return &nc
+}
+
+// do sends one JSON exchange; out may be nil to discard the body. The
+// request body is marshaled once so retries can resend it.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
-		buf := &bytes.Buffer{}
-		if err := json.NewEncoder(buf).Encode(in); err != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("itag: encode request: %w", err)
 		}
-		body = buf
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, payload, in != nil, out)
+		if err == nil || !c.retry.shouldRetry(method, err, attempt) {
+			return err
+		}
+		if werr := c.retry.wait(ctx, attempt); werr != nil {
+			return err // context ended while backing off: report the last failure
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	for k, vs := range c.hdr {
+		req.Header[k] = vs
+	}
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -118,6 +165,7 @@ func decodeAPIError(resp *http.Response) error {
 		if env.Error.RequestID == "" {
 			env.Error.RequestID = resp.Header.Get("X-Request-Id")
 		}
+		env.Error.OwnerHint = resp.Header.Get("X-Itag-Owner")
 		return env.Error
 	}
 	return &APIError{

@@ -1,0 +1,415 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RingMember is one slot of the cluster ring and the address of the node
+// leading it (wire form of GET /api/v1/cluster/ring).
+type RingMember struct {
+	Slot string `json:"slot"`
+	Addr string `json:"addr"`
+}
+
+// RingInfo is the cluster routing table as served by any node.
+type RingInfo struct {
+	Version uint64       `json:"version"`
+	VNodes  int          `json:"vnodes"`
+	Members []RingMember `json:"members"`
+}
+
+// The ring math below intentionally duplicates internal/cluster: the SDK
+// must stay importable without reaching into the server's internals, and
+// the two are cross-pinned by a golden test over a fixed key corpus so
+// they cannot drift apart. Routing hashes FNV-1a over the key's first
+// path segment (the store's shard function), then passes placements
+// through the murmur3 finalizer to spread FNV's weak avalanche.
+
+func ringFNV32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func ringMix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+func ringKeyHash(key string) uint32 {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		key = key[:i]
+	}
+	return ringFNV32(key)
+}
+
+type ringVNode struct {
+	hash uint32
+	slot string
+}
+
+type builtRing struct {
+	info   RingInfo
+	circle []ringVNode
+	addrs  map[string]string
+	order  []string // slots in successor (slot-hash) order
+}
+
+func buildRing(info RingInfo) (*builtRing, error) {
+	if len(info.Members) == 0 {
+		return nil, fmt.Errorf("itag: cluster ring has no members")
+	}
+	vn := info.VNodes
+	if vn <= 0 {
+		vn = 64
+	}
+	b := &builtRing{info: info, addrs: make(map[string]string, len(info.Members))}
+	for _, m := range info.Members {
+		b.addrs[m.Slot] = m.Addr
+		b.order = append(b.order, m.Slot)
+		for i := 0; i < vn; i++ {
+			b.circle = append(b.circle, ringVNode{hash: ringMix32(ringFNV32(m.Slot + "#" + strconv.Itoa(i))), slot: m.Slot})
+		}
+	}
+	sort.Slice(b.circle, func(i, j int) bool {
+		if b.circle[i].hash != b.circle[j].hash {
+			return b.circle[i].hash < b.circle[j].hash
+		}
+		return b.circle[i].slot < b.circle[j].slot
+	})
+	sort.Slice(b.order, func(i, j int) bool {
+		hi, hj := ringMix32(ringFNV32(b.order[i])), ringMix32(ringFNV32(b.order[j]))
+		if hi != hj {
+			return hi < hj
+		}
+		return b.order[i] < b.order[j]
+	})
+	return b, nil
+}
+
+func (b *builtRing) owner(key string) string {
+	h := ringMix32(ringKeyHash(key))
+	i := sort.Search(len(b.circle), func(i int) bool { return b.circle[i].hash >= h })
+	if i == len(b.circle) {
+		i = 0
+	}
+	return b.circle[i].slot
+}
+
+// firstFollower is the first slot after owner in successor order that lives
+// on a different address — always a replica holder for any replication
+// factor >= 1. Same-address successors are skipped to mirror the server's
+// Followers walk (one node may lead several slots; a co-located "replica"
+// holds no copy).
+func (b *builtRing) firstFollower(owner string) string {
+	at := -1
+	for i, s := range b.order {
+		if s == owner {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return ""
+	}
+	for i := 1; i < len(b.order); i++ {
+		if s := b.order[(at+i)%len(b.order)]; b.addrs[s] != b.addrs[owner] {
+			return s
+		}
+	}
+	return ""
+}
+
+// ClusterClient routes v1 API calls across an itagd cluster. It learns the
+// ring from any seed node, sends every key-scoped call to the slot leader
+// the ring names, follows not_owner redirects (refreshing its ring when
+// one appears — the signature of a promotion), and optionally serves reads
+// from followers within the cluster's staleness bound.
+//
+//	cc := client.NewCluster([]string{"http://node-a:8080"}, nil)
+//	info, err := cc.GetProject(ctx, projectID)        // routed to the leader
+//	stale := cc.WithFollowerReads()
+//	info, err = stale.GetProject(ctx, projectID)      // served by a follower
+//
+// ID-less calls (registration, project creation) must target an explicit
+// node — in the entity-group model a node mints only IDs it will own, so
+// a project and its participants are created through the same node:
+//
+//	c, _ := cc.Node(ctx, "alpha")
+//	provider, _ := c.RegisterProvider(ctx, "alice")
+type ClusterClient struct {
+	seeds         []string
+	httpc         *http.Client
+	retry         retryPolicy
+	followerReads bool
+
+	mu   sync.RWMutex
+	ring *builtRing
+}
+
+// NewCluster builds a cluster client from one or more seed node addresses.
+// httpClient may be nil for http.DefaultClient. The ring is fetched lazily
+// on first use; call Refresh to fail fast.
+func NewCluster(seeds []string, httpClient *http.Client) *ClusterClient {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	trimmed := make([]string, len(seeds))
+	for i, s := range seeds {
+		trimmed[i] = strings.TrimRight(s, "/")
+	}
+	return &ClusterClient{seeds: trimmed, httpc: httpClient, retry: defaultRetry}
+}
+
+// WithRetry returns a copy whose per-node clients use the given retry
+// budget (see Client.WithRetry).
+func (cc *ClusterClient) WithRetry(attempts int, base time.Duration) *ClusterClient {
+	nc := cc.shallowClone()
+	nc.retry = retryPolicy{attempts: attempts, base: base}
+	return nc
+}
+
+// WithFollowerReads returns a copy that serves read calls from a follower
+// replica (opt-in staleness: the follower refuses with not_owner when its
+// replication lag exceeds the cluster's bound, and the client falls back
+// to the leader).
+func (cc *ClusterClient) WithFollowerReads() *ClusterClient {
+	nc := cc.shallowClone()
+	nc.followerReads = true
+	return nc
+}
+
+func (cc *ClusterClient) shallowClone() *ClusterClient {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return &ClusterClient{
+		seeds: cc.seeds, httpc: cc.httpc, retry: cc.retry,
+		followerReads: cc.followerReads, ring: cc.ring,
+	}
+}
+
+// Refresh fetches the ring, trying known member addresses first and the
+// seeds last, and installs it if it is newer than the one held.
+func (cc *ClusterClient) Refresh(ctx context.Context) error {
+	cc.mu.RLock()
+	var addrs []string
+	if cc.ring != nil {
+		for _, m := range cc.ring.info.Members {
+			addrs = append(addrs, m.Addr)
+		}
+	}
+	cc.mu.RUnlock()
+	addrs = append(addrs, cc.seeds...)
+
+	var lastErr error
+	for _, addr := range addrs {
+		var info RingInfo
+		if err := cc.node(addr).do(ctx, http.MethodGet, "/api/v1/cluster/ring", nil, &info); err != nil {
+			lastErr = err
+			continue
+		}
+		built, err := buildRing(info)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cc.mu.Lock()
+		if cc.ring == nil || built.info.Version > cc.ring.info.Version {
+			cc.ring = built
+		}
+		cc.mu.Unlock()
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("itag: no cluster seeds configured")
+	}
+	return fmt.Errorf("itag: cluster ring unavailable: %w", lastErr)
+}
+
+// Ring returns the installed routing table (zero RingInfo before the
+// first Refresh).
+func (cc *ClusterClient) Ring() RingInfo {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	if cc.ring == nil {
+		return RingInfo{}
+	}
+	return cc.ring.info
+}
+
+func (cc *ClusterClient) ensureRing(ctx context.Context) (*builtRing, error) {
+	cc.mu.RLock()
+	r := cc.ring
+	cc.mu.RUnlock()
+	if r != nil {
+		return r, nil
+	}
+	if err := cc.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return cc.ring, nil
+}
+
+func (cc *ClusterClient) node(addr string) *Client {
+	return &Client{base: strings.TrimRight(addr, "/"), http: cc.httpc, retry: cc.retry}
+}
+
+// Node returns a plain Client bound to the node leading slot — the target
+// for ID-less calls such as registration and project creation.
+func (cc *ClusterClient) Node(ctx context.Context, slot string) (*Client, error) {
+	r, err := cc.ensureRing(ctx)
+	if err != nil {
+		return nil, err
+	}
+	addr, ok := r.addrs[slot]
+	if !ok {
+		return nil, fmt.Errorf("itag: unknown cluster slot %q", slot)
+	}
+	return cc.node(addr), nil
+}
+
+// Leader returns a Client bound to the node leading key's slot.
+func (cc *ClusterClient) Leader(ctx context.Context, key string) (*Client, error) {
+	r, err := cc.ensureRing(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return cc.node(r.addrs[r.owner(key)]), nil
+}
+
+// route runs fn against the node owning key. A not_owner reply means the
+// client's ring is stale (a follower was promoted): the call is retried
+// once against the address the server pointed at, and the ring refreshes
+// so subsequent calls route correctly. With follower reads enabled, read
+// calls go to the owner's first successor with the follower-read header;
+// a refusal (lag over the staleness bound) falls back to the leader.
+func (cc *ClusterClient) route(ctx context.Context, key string, read bool, fn func(*Client) error) error {
+	r, err := cc.ensureRing(ctx)
+	if err != nil {
+		return err
+	}
+	owner := r.owner(key)
+	if read && cc.followerReads {
+		if f := r.firstFollower(owner); f != "" && f != owner {
+			ferr := fn(cc.node(r.addrs[f]).WithHeader("X-Itag-Read", "follower"))
+			var ae *APIError
+			if ferr == nil || !errors.As(ferr, &ae) || ae.Code != CodeNotOwner {
+				return ferr
+			}
+			// Too stale (or not a replica holder): fall through to the leader.
+		}
+	}
+	err = fn(cc.node(r.addrs[owner]))
+	if err == nil {
+		return nil
+	}
+	var ae *APIError
+	switch {
+	case errors.As(err, &ae) && ae.Code == CodeNotOwner:
+		// Stale ring: a follower was promoted. Adopt the fresh ring, then
+		// retry once at the address the server named (or wherever the new
+		// ring routes the key).
+		_ = cc.Refresh(ctx)
+		if ae.OwnerHint != "" {
+			return fn(cc.node(ae.OwnerHint))
+		}
+	case errors.As(err, &ae):
+		return err // a real API failure: routing was fine
+	case ctx.Err() != nil:
+		return err
+	default:
+		// Transport failure — the owner may be dead and its slot promoted
+		// elsewhere. Refresh walks the surviving members (and the seeds)
+		// for a newer ring; retry once wherever it routes the key now.
+		if rerr := cc.Refresh(ctx); rerr != nil {
+			return err
+		}
+	}
+	nr, rerr := cc.ensureRing(ctx)
+	if rerr != nil {
+		return err
+	}
+	addr := nr.addrs[nr.owner(key)]
+	if addr == "" || (nr.info.Version == r.info.Version && nr.owner(key) == owner) {
+		return err // nothing changed: don't hammer the same node again
+	}
+	return fn(cc.node(addr))
+}
+
+// --- routed v1 calls ------------------------------------------------------------
+
+// GetProject fetches one project row from its owning node.
+func (cc *ClusterClient) GetProject(ctx context.Context, id string) (ProjectInfo, error) {
+	var info ProjectInfo
+	err := cc.route(ctx, id, true, func(c *Client) error {
+		var e error
+		info, e = c.GetProject(ctx, id)
+		return e
+	})
+	return info, err
+}
+
+// Export fetches one page of the project's consolidated tags from its
+// owning node (or a follower, with follower reads enabled).
+func (cc *ClusterClient) Export(ctx context.Context, id, cursor string, limit int) (ExportPage, error) {
+	var page ExportPage
+	err := cc.route(ctx, id, true, func(c *Client) error {
+		var e error
+		page, e = c.Export(ctx, id, cursor, limit)
+		return e
+	})
+	return page, err
+}
+
+// GetUser fetches a user from the node owning its ID.
+func (cc *ClusterClient) GetUser(ctx context.Context, id string) (User, error) {
+	var u User
+	err := cc.route(ctx, id, true, func(c *Client) error {
+		var e error
+		u, e = c.GetUser(ctx, id)
+		return e
+	})
+	return u, err
+}
+
+// RequestTask asks the project's owning node for the tagger's next task.
+func (cc *ClusterClient) RequestTask(ctx context.Context, projectID, taggerID string) (Task, error) {
+	var t Task
+	err := cc.route(ctx, projectID, false, func(c *Client) error {
+		var e error
+		t, e = c.RequestTask(ctx, projectID, taggerID)
+		return e
+	})
+	return t, err
+}
+
+// SubmitTask completes an assigned task on the project's owning node.
+func (cc *ClusterClient) SubmitTask(ctx context.Context, projectID, taskID string, tags []string) error {
+	return cc.route(ctx, projectID, false, func(c *Client) error {
+		return c.SubmitTask(ctx, projectID, taskID, tags)
+	})
+}
+
+// JudgePost records the provider's verdict on the project's owning node.
+func (cc *ClusterClient) JudgePost(ctx context.Context, projectID, resourceID string, seq uint64, approved bool) error {
+	return cc.route(ctx, projectID, false, func(c *Client) error {
+		return c.JudgePost(ctx, projectID, resourceID, seq, approved)
+	})
+}

@@ -1,0 +1,215 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"itag/internal/cluster"
+	"itag/internal/core"
+	"itag/internal/dataset"
+	"itag/internal/store"
+)
+
+// TestClientRingMatchesServerRing is the drift guard for the duplicated
+// ring math: the SDK's owner placement must agree with internal/cluster's
+// for every key, or a client would write to a node that rejects it. It
+// sweeps the golden corpus plus generated minted-style IDs on two ring
+// sizes.
+func TestClientRingMatchesServerRing(t *testing.T) {
+	keys := []string{
+		"proj-000001", "proj-000002", "proj-000017",
+		"proj-000001/proj-000001-task-00001", "res-0000", "res-0041/000123",
+		"prov-000001", "tag-000007", "tag-000032", "a", "",
+		"key/with/many/segments", "Ünïcode-キー",
+	}
+	for i := 0; i < 300; i++ {
+		keys = append(keys, fmt.Sprintf("proj-%06d", i), fmt.Sprintf("tag-%06d", i))
+	}
+	for _, slots := range [][]string{
+		{"alpha", "beta", "gamma"},
+		{"alpha", "beta", "gamma", "delta", "epsilon"},
+	} {
+		members := make([]cluster.Member, len(slots))
+		info := RingInfo{Version: 1, VNodes: cluster.DefaultVNodes}
+		for i, s := range slots {
+			members[i] = cluster.Member{Slot: s, Addr: "http://" + s}
+			info.Members = append(info.Members, RingMember{Slot: s, Addr: "http://" + s})
+		}
+		server, err := cluster.NewRing(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sdk, err := buildRing(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range keys {
+			if got, want := sdk.owner(key), server.Owner(key); got != want {
+				t.Fatalf("%d slots, key %q: SDK routes to %q, server to %q", len(slots), key, got, want)
+			}
+		}
+		for _, s := range slots {
+			want := server.Followers(s, 1)
+			if got := sdk.firstFollower(s); len(want) != 1 || got != want[0] {
+				t.Fatalf("firstFollower(%s) = %q, server says %v", s, got, want)
+			}
+		}
+	}
+}
+
+// startTestCluster boots an in-process cluster and returns a ClusterClient
+// wired to it over the fake network, plus the transport for failure drills.
+func startTestCluster(t *testing.T, slots []string) (*ClusterClient, *cluster.HandlerTransport, map[string]*cluster.Node) {
+	t.Helper()
+	tr := cluster.NewHandlerTransport()
+	members := make([]cluster.Member, len(slots))
+	for i, s := range slots {
+		members[i] = cluster.Member{Slot: s, Addr: "http://" + s}
+	}
+	ring, err := cluster.NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make(map[string]*cluster.Node, len(slots))
+	for _, s := range slots {
+		n, err := cluster.New(cluster.Options{
+			Slot: s, Ring: ring.Clone(), Dir: t.TempDir(),
+			Store: store.Options{SegmentBytes: 4096}, Seed: 11,
+			Replicas: 2, PullInterval: 5 * time.Millisecond,
+			HTTPClient: tr.Client(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[s] = n
+		tr.Register(s, n.Handler())
+		t.Cleanup(func() { _ = n.Close() })
+	}
+	cc := NewCluster([]string{"http://" + slots[0]}, tr.Client())
+	return cc, tr, nodes
+}
+
+// seedClusterProject provisions a project with participants directly on
+// whichever node mints it, returning (ownerSlot, projectID, taggerID).
+func seedClusterProject(t *testing.T, nodes map[string]*cluster.Node) (string, string, string) {
+	t.Helper()
+	ctx := context.Background()
+	var slot string
+	for s := range nodes {
+		slot = s
+		break
+	}
+	svc := nodes[slot].Service(slot)
+	if _, err := svc.RegisterProvider(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+	tagger, err := svc.RegisterTagger(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, err := svc.RegisterProvider(ctx, "p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	project, err := svc.CreateProject(ctx, core.ProjectSpec{
+		ProviderID: provider, Name: "sdk-test", Budget: 100, PayPerTask: 0.05,
+		Strategy: "random",
+		Resources: []dataset.Resource{
+			{ID: "res-0000", Name: "res-0000", Popularity: 1},
+			{ID: "res-0001", Name: "res-0001", Popularity: 1},
+		},
+		SeedPosts: map[string][][]string{"res-0000": {{"go", "seed"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slot, project, tagger
+}
+
+// TestClusterClientRoutesAndFollowsPromotion drives the SDK against a live
+// in-process cluster: routed task flow through the leader, follower reads,
+// and transparent re-routing after a promotion invalidates the ring.
+func TestClusterClientRoutesAndFollowsPromotion(t *testing.T) {
+	ctx := context.Background()
+	cc, tr, nodes := startTestCluster(t, []string{"alpha", "beta", "gamma"})
+	slot, project, tagger := seedClusterProject(t, nodes)
+
+	if err := cc.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := cc.Ring().Version; v != 1 {
+		t.Fatalf("ring version %d, want 1", v)
+	}
+
+	// The routed task flow lands on the owner without the caller naming it.
+	task, err := cc.RequestTask(ctx, project, tagger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.SubmitTask(ctx, project, task.ID, []string{"go", "sdk"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cc.GetProject(ctx, project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Project.ID != project {
+		t.Fatalf("GetProject = %+v", info)
+	}
+
+	// Follower reads serve once replication catches up.
+	stale := cc.WithFollowerReads()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err = stale.GetProject(ctx, project); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower read never caught up: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Promote a follower; the SDK still holds the old ring, hits the old
+	// owner's slot led elsewhere, and must recover on its own.
+	tr.Register(slot, nil)
+	var surv string
+	for s := range nodes {
+		if s != slot {
+			surv = s
+			break
+		}
+	}
+	if err := nodes[surv].Promote(ctx, slot); err != nil {
+		t.Fatal(err)
+	}
+	// The dead node's address stays dark: the SDK must discover the new
+	// ring through the survivors, not through a revived host.
+	task, err = cc.RequestTask(ctx, project, tagger)
+	if err != nil {
+		t.Fatalf("routed request after promotion: %v", err)
+	}
+	if err := cc.SubmitTask(ctx, project, task.ID, []string{"go", "after-promote"}); err != nil {
+		t.Fatal(err)
+	}
+	if v := cc.Ring().Version; v < 2 {
+		t.Fatalf("SDK did not adopt the promoted ring (version %d)", v)
+	}
+
+	// Export through the SDK sees both phases' tags.
+	page, err := cc.Export(ctx, project, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := map[string]bool{}
+	for _, r := range page.Items {
+		for _, tf := range r.TopTags {
+			tags[tf.Tag] = true
+		}
+	}
+	if !tags["sdk"] || !tags["after-promote"] {
+		t.Fatalf("export missing phase tags: %v", tags)
+	}
+}

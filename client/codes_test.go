@@ -21,6 +21,7 @@ func TestCodeVocabularyMatchesServer(t *testing.T) {
 		CodeIOFailure:       true,
 		CodeCorruption:      true,
 		CodeBatchTooLarge:   true,
+		CodeNotOwner:        true,
 		CodeTimeout:         true,
 		CodeCanceled:        true,
 		CodeInternal:        true,

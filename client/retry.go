@@ -1,0 +1,72 @@
+package client
+
+// Bounded retry with jittered exponential backoff. A single dial failure
+// used to surface immediately; in a cluster a node restart or promotion
+// makes transient connection errors and 503s routine, so the SDK absorbs a
+// short burst of them. What retries:
+//
+//   - connection refused / reset, for any method: the request never reached
+//     a handler (refused) or the server died before accepting it (reset on
+//     write), so resending cannot double-apply
+//   - HTTP 503, for any method: the server explicitly declared itself
+//     unavailable without doing the work
+//   - any other transport error, for GET only: a response that was lost
+//     mid-read may have had side effects, and only reads are safe to replay
+//
+// Context cancellation and deadline expiry never retry. Application errors
+// (4xx/5xx other than 503) never retry — not_owner in particular is handled
+// one level up by the ring-aware ClusterClient, which re-routes instead of
+// re-sending.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+type retryPolicy struct {
+	attempts int           // total tries, including the first
+	base     time.Duration // first backoff; doubles per attempt
+}
+
+var defaultRetry = retryPolicy{attempts: 3, base: 50 * time.Millisecond}
+
+func (p retryPolicy) shouldRetry(method string, err error, attempt int) bool {
+	if attempt >= p.attempts-1 {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusServiceUnavailable
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	// Remaining cases are transport errors of unknown effect (timeouts,
+	// broken pipes mid-exchange): replay reads only.
+	return method == http.MethodGet
+}
+
+// wait sleeps for the attempt's jittered backoff: base·2^attempt scaled by
+// a uniform factor in [0.5, 1.5), so synchronized clients spread out.
+func (p retryPolicy) wait(ctx context.Context, attempt int) error {
+	d := p.base << attempt
+	if d <= 0 {
+		d = defaultRetry.base << attempt
+	}
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

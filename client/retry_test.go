@@ -1,0 +1,129 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRetryOn503 exercises the full do() loop: two 503 responses followed
+// by a success must succeed transparently, for writes as well as reads.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"code":"exhausted","message":"overloaded"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(3, time.Millisecond)
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.do(context.Background(), http.MethodPost, "/api/v1/projects", map[string]string{"name": "x"}, &out); err != nil {
+		t.Fatalf("do after two 503s: %v", err)
+	}
+	if !out.OK || calls.Load() != 3 {
+		t.Fatalf("got ok=%v calls=%d, want ok=true calls=3", out.OK, calls.Load())
+	}
+}
+
+// TestRetryBudgetExhausted pins that a persistent 503 surfaces the last
+// APIError once attempts run out rather than looping forever.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":{"code":"exhausted","message":"overloaded"}}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(2, time.Millisecond)
+	err := c.do(context.Background(), http.MethodGet, "/api/v1/projects", nil, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestRetryConnectionRefused pins that a dead endpoint is retried (any
+// method) and that the dial failure surfaces once the budget runs out.
+func TestRetryConnectionRefused(t *testing.T) {
+	// Grab a port that nothing listens on.
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	addr := srv.URL
+	srv.Close()
+
+	c := New(addr, nil).WithRetry(2, time.Millisecond)
+	start := time.Now()
+	err := c.do(context.Background(), http.MethodPost, "/api/v1/projects", map[string]string{"name": "x"}, nil)
+	if err == nil {
+		t.Fatal("expected connection error")
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want ECONNREFUSED", err)
+	}
+	// Two attempts means at least one backoff sleep happened.
+	if time.Since(start) < time.Millisecond/2 {
+		t.Fatalf("returned too fast for a retried dial: %v", time.Since(start))
+	}
+}
+
+// TestRetryPolicyMatrix pins shouldRetry's decision table directly.
+func TestRetryPolicyMatrix(t *testing.T) {
+	p := retryPolicy{attempts: 3, base: time.Millisecond}
+	cases := []struct {
+		name    string
+		method  string
+		err     error
+		attempt int
+		want    bool
+	}{
+		{"503 retries writes", http.MethodPost, &APIError{Status: 503, Code: CodeExhausted}, 0, true},
+		{"409 never retries", http.MethodPost, &APIError{Status: 409, Code: CodeConflict}, 0, false},
+		{"421 never retries", http.MethodGet, &APIError{Status: 421, Code: CodeNotOwner}, 0, false},
+		{"refused retries writes", http.MethodPost, syscall.ECONNREFUSED, 0, true},
+		{"reset retries writes", http.MethodDelete, syscall.ECONNRESET, 0, true},
+		{"unknown transport retries GET", http.MethodGet, errors.New("broken pipe"), 0, true},
+		{"unknown transport never retries POST", http.MethodPost, errors.New("broken pipe"), 0, false},
+		{"canceled never retries", http.MethodGet, context.Canceled, 0, false},
+		{"deadline never retries", http.MethodGet, context.DeadlineExceeded, 0, false},
+		{"budget exhausted", http.MethodGet, syscall.ECONNREFUSED, 2, false},
+	}
+	for _, tc := range cases {
+		if got := p.shouldRetry(tc.method, tc.err, tc.attempt); got != tc.want {
+			t.Errorf("%s: shouldRetry = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRetryWaitHonorsContext pins that backoff sleeps abort promptly when
+// the context ends instead of blocking out the full delay.
+func TestRetryWaitHonorsContext(t *testing.T) {
+	p := retryPolicy{attempts: 5, base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.wait(ctx, 0); err == nil {
+		t.Fatal("wait on canceled context returned nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("wait blocked %v on canceled context", time.Since(start))
+	}
+}

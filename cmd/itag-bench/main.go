@@ -14,7 +14,7 @@
 // durability, interned quality hot path, ordered snapshot serving read
 // path), all. See the experiment index in docs/ARCHITECTURE.md.
 //
-// Gated experiments (s3, s5, s6, s7) embed their acceptance ratios in the
+// Gated experiments (s3, s5, s6, s7, s8) embed their acceptance ratios in the
 // result; -record writes each gated result to its canonical BENCH_*.json
 // artifact, and any failing gate makes the run exit non-zero.
 // -verify-gates re-checks previously recorded artifacts without rerunning
@@ -49,9 +49,10 @@ var experiments = map[string]func(bench.Sizes) (bench.Result, error){
 	"s5": bench.S5StoreGroupCommit,
 	"s6": bench.S6QualityHotPath,
 	"s7": bench.S7ServingReadPath,
+	"s8": bench.S8Cluster,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6", "s7"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6", "s7", "s8"}
 
 // recordFiles maps gated experiments to their canonical committed artifact.
 var recordFiles = map[string]string{
@@ -59,6 +60,7 @@ var recordFiles = map[string]string{
 	"s5": "BENCH_store.json",
 	"s6": "BENCH_quality.json",
 	"s7": "BENCH_serving.json",
+	"s8": "BENCH_cluster.json",
 }
 
 func main() {

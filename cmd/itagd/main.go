@@ -35,6 +35,17 @@
 //	curl http://localhost:6060/metrics
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=15
 //
+// With -cluster-slot the daemon joins a multi-node cluster instead of
+// serving alone: -cluster-ring names every slot and its address, the node
+// leads the keys hashing to its slot, replicates its WAL to -cluster-replicas
+// followers, and serves opt-in follower reads within -cluster-staleness
+// records of lag. -db must name a data directory (cluster nodes are always
+// durable) and -shards must stay 1 — the ring partitions keys across nodes.
+// See docs/ARCHITECTURE.md ("Cluster") and the README quickstart:
+//
+//	itagd -addr :8081 -db data-a -cluster-slot alpha \
+//	      -cluster-ring alpha=http://localhost:8081,beta=http://localhost:8082,gamma=http://localhost:8083
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, waits up to -grace for live simulation runs to drain, ends
 // open SSE streams, and flushes the store.
@@ -52,9 +63,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"itag/internal/cluster"
 	"itag/internal/core"
 	"itag/internal/server"
 	"itag/internal/store"
@@ -87,6 +100,11 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
 	routeTimeout := fs.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
+	clusterSlot := fs.String("cluster-slot", "", "ring slot this node leads; non-empty enables cluster mode")
+	clusterRing := fs.String("cluster-ring", "", `ring members as "slot=addr,slot=addr,..." (required with -cluster-slot)`)
+	clusterReplicas := fs.Int("cluster-replicas", 2, "followers replicating each slot's WAL")
+	clusterPull := fs.Duration("cluster-pull-interval", 250*time.Millisecond, "idle poll period of the follower replication pullers")
+	clusterStaleness := fs.Uint64("cluster-staleness", 1024, "maximum replication lag (records) at which followers still serve opt-in reads")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,42 +115,78 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 		SegmentBytes:      *segmentBytes,
 		AutoCompact:       *autoCompact,
 	}
-	var db store.Store
-	switch {
-	case *dbPath == "" && *shards > 1:
-		db = store.NewSharded(*shards)
-		logger.Printf("using in-memory store (%d shards)", *shards)
-	case *dbPath == "":
-		db = store.OpenMemory()
-		logger.Print("using in-memory store")
-	case *shards > 1:
-		sh, err := store.OpenSharded(*dbPath, *shards, storeOpts)
-		if err != nil {
-			return fmt.Errorf("open sharded store: %w", err)
+	var (
+		apiHandler  http.Handler
+		promHandler http.Handler
+		node        *cluster.Node
+		db          store.Store
+		svc         *core.Service
+	)
+	if *clusterSlot != "" {
+		// Cluster mode: the node owns its stores — one WAL per led slot
+		// plus one per followed replica — under the -db directory, and
+		// ResumeRuns rebuilds any run a previous process left mid-flight.
+		if *dbPath == "" {
+			return fmt.Errorf("cluster mode requires -db: replication ships WAL bytes, so cluster nodes are always durable")
 		}
-		st := sh.Stats()
-		logger.Printf("store: %s (%d shards, seq %d, %d segments, recovered %d records in %.1fms)",
-			*dbPath, *shards, sh.Seq(), st.Segments, st.RecoveredRecords, st.RecoveryMillis)
-		db = sh
-	default:
-		wal, err := store.Open(*dbPath, storeOpts)
-		if err != nil {
-			return fmt.Errorf("open store: %w", err)
+		if *shards != 1 {
+			return fmt.Errorf("cluster mode replaces -shards: the ring partitions keys across nodes")
 		}
-		st := wal.Stats()
-		logger.Printf("store: %s (seq %d, %d segments, recovered %d records in %.1fms)",
-			*dbPath, wal.Seq(), st.Segments, st.RecoveredRecords, st.RecoveryMillis)
-		db = wal
-	}
-	defer db.Close()
+		ring, err := parseRingFlag(*clusterRing)
+		if err != nil {
+			return err
+		}
+		node, err = cluster.New(cluster.Options{
+			Slot: *clusterSlot, Ring: ring, Dir: *dbPath,
+			Store: storeOpts, Seed: *seed, Logger: logger,
+			Replicas: *clusterReplicas, PullInterval: *clusterPull,
+			StalenessBound: *clusterStaleness, RouteTimeout: *routeTimeout,
+		})
+		if err != nil {
+			return fmt.Errorf("start cluster node: %w", err)
+		}
+		defer node.Close()
+		apiHandler, promHandler = node.Handler(), node.PromHandler()
+		logger.Printf("cluster node: slot %s of %d-member ring v%d (dir %s, replicas %d, staleness bound %d)",
+			*clusterSlot, len(ring.Members), ring.Version, *dbPath, *clusterReplicas, *clusterStaleness)
+	} else {
+		switch {
+		case *dbPath == "" && *shards > 1:
+			db = store.NewSharded(*shards)
+			logger.Printf("using in-memory store (%d shards)", *shards)
+		case *dbPath == "":
+			db = store.OpenMemory()
+			logger.Print("using in-memory store")
+		case *shards > 1:
+			sh, err := store.OpenSharded(*dbPath, *shards, storeOpts)
+			if err != nil {
+				return fmt.Errorf("open sharded store: %w", err)
+			}
+			st := sh.Stats()
+			logger.Printf("store: %s (%d shards, seq %d, %d segments, recovered %d records in %.1fms)",
+				*dbPath, *shards, sh.Seq(), st.Segments, st.RecoveredRecords, st.RecoveryMillis)
+			db = sh
+		default:
+			wal, err := store.Open(*dbPath, storeOpts)
+			if err != nil {
+				return fmt.Errorf("open store: %w", err)
+			}
+			st := wal.Stats()
+			logger.Printf("store: %s (seq %d, %d segments, recovered %d records in %.1fms)",
+				*dbPath, wal.Seq(), st.Segments, st.RecoveredRecords, st.RecoveryMillis)
+			db = wal
+		}
+		defer db.Close()
 
-	svc := core.NewService(store.NewCatalog(db), *seed)
-	defer svc.Close()
-	var reqLog *log.Logger
-	if !*quiet {
-		reqLog = logger
+		svc = core.NewService(store.NewCatalog(db), *seed)
+		defer svc.Close()
+		var reqLog *log.Logger
+		if !*quiet {
+			reqLog = logger
+		}
+		srv := server.NewWith(svc, server.Options{Logger: reqLog, RouteTimeout: *routeTimeout})
+		apiHandler, promHandler = srv, srv.PromHandler()
 	}
-	srv := server.NewWith(svc, server.Options{Logger: reqLog, RouteTimeout: *routeTimeout})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -153,7 +207,7 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/debug/vars", expvar.Handler())
-		mux.Handle("GET /metrics", srv.PromHandler())
+		mux.Handle("GET /metrics", promHandler)
 		dbgLn, err = net.Listen("tcp", *debugAddr)
 		if err != nil {
 			ln.Close()
@@ -177,7 +231,7 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	defer cancelBase()
 
 	httpSrv := &http.Server{
-		Handler:           srv,
+		Handler:           apiHandler,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       2 * time.Minute,
@@ -201,23 +255,32 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 		shutdownErr := make(chan error, 1)
 		go func() { shutdownErr <- httpSrv.Shutdown(drainCtx) }()
 
-		if err := svc.DrainRuns(drainCtx); err != nil {
-			logger.Printf("drain incomplete: %v (interrupting remaining runs)", err)
-			svc.Close() // hard-cancel engines still stepping
+		if svc != nil {
+			if err := svc.DrainRuns(drainCtx); err != nil {
+				logger.Printf("drain incomplete: %v (interrupting remaining runs)", err)
+				svc.Close() // hard-cancel engines still stepping
+			}
 		}
 		cancelBase() // end SSE streams so Shutdown can finish
 		if err := <-shutdownErr; err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
-		// All handlers have returned; catch any run started by a request
-		// that was in flight during the first drain.
-		if err := svc.DrainRuns(drainCtx); err != nil {
-			logger.Printf("late drain incomplete: %v (interrupting)", err)
-			svc.Close()
+		if svc != nil {
+			// All handlers have returned; catch any run started by a request
+			// that was in flight during the first drain.
+			if err := svc.DrainRuns(drainCtx); err != nil {
+				logger.Printf("late drain incomplete: %v (interrupting)", err)
+				svc.Close()
+			}
 		}
-		if err := db.Sync(); err != nil {
-			logger.Printf("store sync: %v", err)
+		if db != nil {
+			if err := db.Sync(); err != nil {
+				logger.Printf("store sync: %v", err)
+			}
 		}
+		// In cluster mode the deferred node.Close stops the pullers and
+		// flushes every store; interrupted runs resume on the next boot
+		// (or on whichever follower is promoted) via ResumeRuns.
 		// Drain the debug listener last so an in-flight profile capture can
 		// observe the shutdown itself, within the same grace budget.
 		if dbg != nil {
@@ -242,4 +305,25 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	<-done
 	logger.Print("bye")
 	return nil
+}
+
+// parseRingFlag parses -cluster-ring: comma-separated "slot=addr" pairs,
+// e.g. "alpha=http://localhost:8081,beta=http://localhost:8082".
+func parseRingFlag(spec string) (*cluster.Ring, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("cluster mode requires -cluster-ring (slot=addr,slot=addr,...)")
+	}
+	var members []cluster.Member
+	for _, pair := range strings.Split(spec, ",") {
+		slot, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || slot == "" || addr == "" {
+			return nil, fmt.Errorf("invalid -cluster-ring entry %q (want slot=addr)", pair)
+		}
+		members = append(members, cluster.Member{Slot: slot, Addr: strings.TrimRight(addr, "/")})
+	}
+	ring, err := cluster.NewRing(members)
+	if err != nil {
+		return nil, fmt.Errorf("invalid -cluster-ring: %w", err)
+	}
+	return ring, nil
 }

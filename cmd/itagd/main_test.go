@@ -83,3 +83,78 @@ func TestBootServeSigtermDrain(t *testing.T) {
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
 }
+
+// TestBootClusterMode boots the daemon as a (single-member) cluster node
+// and verifies the cluster surface serves: the ring endpoint, routed API
+// traffic through the slot's backend, and the replication families on the
+// debug scrape. Flag validation failures must be reported, not crash.
+func TestBootClusterMode(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	if err := run([]string{"-cluster-slot", "alpha", "-db", ""}, logger, nil); err == nil ||
+		!strings.Contains(err.Error(), "-db") {
+		t.Fatalf("cluster mode without -db: err = %v", err)
+	}
+	if err := run([]string{"-cluster-slot", "alpha", "-db", t.TempDir(), "-cluster-ring", "garbage"}, logger, nil); err == nil {
+		t.Fatal("cluster mode accepted a malformed ring")
+	}
+
+	ready := make(chan [2]string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(
+			[]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-db", t.TempDir(),
+				"-cluster-slot", "alpha", "-cluster-ring", "alpha=http://127.0.0.1:1",
+				"-quiet", "-grace", "10s"},
+			logger,
+			func(apiAddr, debugAddr string) { ready <- [2]string{apiAddr, debugAddr} },
+		)
+	}()
+
+	var apiAddr, dbgAddr string
+	select {
+	case addrs := <-ready:
+		apiAddr, dbgAddr = addrs[0], addrs[1]
+	case err := <-errCh:
+		t.Fatalf("cluster daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster daemon never became ready")
+	}
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := get("http://" + apiAddr + "/api/v1/cluster/ring"); status != http.StatusOK ||
+		!strings.Contains(body, `"slot":"alpha"`) {
+		t.Errorf("cluster ring = %d %q", status, body)
+	}
+	resp, err := http.Post("http://"+apiAddr+"/api/v1/providers", "application/json", strings.NewReader(`{"name":"p"}`))
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("provider create through cluster node: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	if status, body := get("http://" + dbgAddr + "/metrics"); status != http.StatusOK ||
+		!strings.Contains(body, "itag_cluster_ring_version") ||
+		!strings.Contains(body, "itag_http_requests_total") {
+		t.Errorf("cluster debug /metrics = %d (len %d)", status, len(body))
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("cluster drain exit = %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cluster daemon did not exit after SIGTERM")
+	}
+}

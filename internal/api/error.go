@@ -33,6 +33,7 @@ const (
 	CodeIOFailure       = "io_failure"       // errs.CategoryIO: store disk failure
 	CodeCorruption      = "corruption"       // errs.CategoryCorruption: integrity check failed
 	CodeBatchTooLarge   = "batch_too_large"  // batch exceeds the per-call cap
+	CodeNotOwner        = "not_owner"        // key is owned by another cluster node (X-Itag-Owner names it)
 	CodeTimeout         = "timeout"          // per-route deadline exceeded
 	CodeCanceled        = "canceled"         // client disconnected mid-request
 	CodeInternal        = "internal"         // panic or unexpected failure
@@ -63,6 +64,7 @@ func CodeTable() []CodeSpec {
 		{CodeConflict, http.StatusConflict, errs.CategoryConflict, "valid request, conflicting current state (e.g. post already judged)"},
 		{CodeProjectRunning, http.StatusConflict, errs.CategoryConflict, "operation requires a stopped run"},
 		{CodeExhausted, http.StatusConflict, errs.CategoryExhausted, "a budget or post source ran out"},
+		{CodeNotOwner, http.StatusMisdirectedRequest, errs.CategoryConflict, "another cluster node owns this key; X-Itag-Owner names its address"},
 		{CodeIOFailure, http.StatusInternalServerError, errs.CategoryIO, "store disk or filesystem failure"},
 		{CodeCorruption, http.StatusInternalServerError, errs.CategoryCorruption, "stored data failed an integrity check"},
 		{CodeTimeout, http.StatusGatewayTimeout, errs.CategoryCanceled, "per-route deadline exceeded"},

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"sort"
+
+	"itag/internal/api"
+)
+
+// Families renders the node's replication posture as Prometheus metric
+// families. The led slot's server injects this through its ExtraFamilies
+// hook, so one scrape of GET /metrics shows route latencies, store
+// durability counters, and the replication watermarks side by side — the
+// lag gauge is what the staleness bound on follower reads is measured
+// against.
+func (n *Node) Families() []api.Family {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+
+	gauge := func(name, help string, samples []api.Sample) api.Family {
+		return api.Family{Name: name, Help: help, Type: api.TypeGauge, Samples: samples}
+	}
+	counter := func(name, help string, samples []api.Sample) api.Family {
+		return api.Family{Name: name, Help: help, Type: api.TypeCounter, Samples: samples}
+	}
+	slotSample := func(slot string, v float64) api.Sample {
+		return api.Sample{Labels: []api.Label{{Name: "slot", Value: slot}}, Value: v}
+	}
+
+	leaderSlots := make([]string, 0, len(n.leaders))
+	for slot := range n.leaders {
+		leaderSlots = append(leaderSlots, slot)
+	}
+	sort.Strings(leaderSlots)
+	replicaSlots := make([]string, 0, len(n.replicas))
+	for slot := range n.replicas {
+		replicaSlots = append(replicaSlots, slot)
+	}
+	sort.Strings(replicaSlots)
+
+	var leaderApplied []api.Sample
+	for _, slot := range leaderSlots {
+		leaderApplied = append(leaderApplied, slotSample(slot, float64(n.leaders[slot].db.AppliedSeq())))
+	}
+	var repApplied, repLeader, repLag, pulls, pullBytes, pullErrs []api.Sample
+	for _, slot := range replicaSlots {
+		rep := n.replicas[slot]
+		repApplied = append(repApplied, slotSample(slot, float64(rep.db.AppliedSeq())))
+		repLeader = append(repLeader, slotSample(slot, float64(rep.leaderSeq.Load())))
+		repLag = append(repLag, slotSample(slot, float64(rep.lag())))
+		pulls = append(pulls, slotSample(slot, float64(rep.pulls.Load())))
+		pullBytes = append(pullBytes, slotSample(slot, float64(rep.pullBytes.Load())))
+
+		rep.errMu.Lock()
+		cats := make([]string, 0, len(rep.errCounts))
+		for cat := range rep.errCounts {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		for _, cat := range cats {
+			pullErrs = append(pullErrs, api.Sample{
+				Labels: []api.Label{{Name: "slot", Value: slot}, {Name: "category", Value: cat}},
+				Value:  float64(rep.errCounts[cat]),
+			})
+		}
+		rep.errMu.Unlock()
+	}
+
+	fams := []api.Family{
+		gauge("itag_cluster_ring_version", "Version of the installed consistent-hash ring.",
+			[]api.Sample{{Value: float64(n.ring.Version)}}),
+		gauge("itag_cluster_leader_applied_seq", "Applied (flushed) WAL sequence per led slot.", leaderApplied),
+		counter("itag_cluster_not_owner_total", "Requests redirected with 421 not_owner.",
+			[]api.Sample{{Value: float64(n.notOwner.Load())}}),
+		counter("itag_cluster_follower_reads_total", "Opt-in reads served from replica stores.",
+			[]api.Sample{{Value: float64(n.followerReads.Load())}}),
+	}
+	if len(repApplied) > 0 {
+		fams = append(fams,
+			gauge("itag_cluster_replica_applied_seq", "Replica's applied WAL sequence per followed slot.", repApplied),
+			gauge("itag_cluster_replica_leader_seq", "Leader's applied sequence as of the last pull, per followed slot.", repLeader),
+			gauge("itag_cluster_replica_lag", "Replication lag in records per followed slot (leader seq minus replica seq).", repLag),
+			counter("itag_cluster_pulls_total", "Replication pull rounds per followed slot.", pulls),
+			counter("itag_cluster_pull_bytes_total", "Replicated bytes ingested per followed slot.", pullBytes),
+		)
+	}
+	if len(pullErrs) > 0 {
+		fams = append(fams,
+			counter("itag_cluster_pull_errors_total", "Replication pull failures by slot and error-taxonomy category.", pullErrs))
+	}
+	return fams
+}

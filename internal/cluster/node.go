@@ -1,0 +1,809 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"itag/internal/api"
+	"itag/internal/core"
+	"itag/internal/errs"
+	"itag/internal/server"
+	"itag/internal/store"
+)
+
+// Options configures one cluster node.
+type Options struct {
+	// Slot is the ring slot this node leads. It must appear in Ring.
+	Slot string
+	// Ring is the initial routing table (addresses included). All nodes
+	// must boot with rings that agree on slot names and vnode count;
+	// versions converge through ring pushes.
+	Ring *Ring
+	// Dir holds the node's WAL layouts: <slot>.wal for the led slot and
+	// replica-<slot>.wal for each followed slot. Cluster nodes are always
+	// durable — replication ships WAL bytes, so there must be a WAL.
+	Dir string
+	// Store tunes every store this node opens (leader and replicas alike).
+	Store store.Options
+	// Seed seeds the service's simulated platforms.
+	Seed int64
+	// Logger receives node lifecycle and replication errors; nil for
+	// silence.
+	Logger *log.Logger
+	// Replicas is how many followers replicate each slot (default 2,
+	// capped at ring size - 1).
+	Replicas int
+	// PullInterval is the idle poll period of the follower pullers
+	// (default 250ms; catch-up rounds loop without waiting).
+	PullInterval time.Duration
+	// PullBytes bounds one replication response (default 1 MiB).
+	PullBytes int
+	// StalenessBound is the maximum replication lag, in records, at which
+	// a follower still serves opt-in reads (default 1024). Beyond it the
+	// node redirects to the leader instead of serving stale data.
+	StalenessBound uint64
+	// HTTPClient performs replication pulls and ring pushes. Tests and the
+	// bench inject a handler-backed transport here; nil uses a default
+	// client with a 30s timeout.
+	HTTPClient *http.Client
+	// RouteTimeout is passed through to the embedded API servers.
+	RouteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas == 0 {
+		o.Replicas = 2
+	}
+	if o.PullInterval <= 0 {
+		o.PullInterval = 250 * time.Millisecond
+	}
+	if o.PullBytes <= 0 {
+		o.PullBytes = 1 << 20
+	}
+	if o.StalenessBound == 0 {
+		o.StalenessBound = 1024
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Logger == nil {
+		o.Logger = log.New(os.Stderr, "", 0)
+		o.Logger.SetOutput(discard{})
+	}
+	return o
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// backend is one slot this node leads: a full service stack over the
+// slot's WAL store.
+type backend struct {
+	slot string
+	db   *store.DB
+	svc  *core.Service
+	srv  *server.Server
+}
+
+// replica is one slot this node follows: the replica store fed by the
+// puller plus a read-only service frontend for follower reads.
+type replica struct {
+	slot string
+	db   *store.DB
+	svc  *core.Service
+	srv  *server.Server
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	leaderSeq atomic.Uint64 // leader's applied seq as of the last pull
+	pulls     atomic.Uint64
+	pullBytes atomic.Uint64
+	errMu     sync.Mutex
+	errCounts map[string]uint64
+}
+
+func (rep *replica) countErr(err error) {
+	cat := string(errs.CategoryOf(err))
+	if cat == "" {
+		cat = "transport"
+	}
+	rep.errMu.Lock()
+	if rep.errCounts == nil {
+		rep.errCounts = make(map[string]uint64)
+	}
+	rep.errCounts[cat]++
+	rep.errMu.Unlock()
+}
+
+// lag reports how many records the replica trails its leader by (0 when
+// caught up or when the local watermark has overtaken a stale report).
+func (rep *replica) lag() uint64 {
+	leader, applied := rep.leaderSeq.Load(), rep.db.AppliedSeq()
+	if leader <= applied {
+		return 0
+	}
+	return leader - applied
+}
+
+// Node is one member of an itag cluster: leader for every ring slot mapped
+// to its address (plus any slots it has been promoted into), follower for
+// the slots the ring assigns it, and router for everything else.
+type Node struct {
+	opts   Options
+	slot   string
+	addr   string // this node's advertised address, from the boot ring
+	logger *log.Logger
+	httpc  *http.Client
+	kit    *api.Kit
+
+	mu       sync.RWMutex
+	ring     *Ring
+	leaders  map[string]*backend
+	replicas map[string]*replica
+	closed   bool
+
+	notOwner      atomic.Uint64
+	followerReads atomic.Uint64
+
+	handler http.Handler
+	wg      sync.WaitGroup
+}
+
+// New opens the node's stores, resumes any interrupted runs on the led
+// slot, and starts the follower pullers the ring assigns to this node.
+func New(opts Options) (*Node, error) {
+	opts = opts.withDefaults()
+	if opts.Slot == "" {
+		return nil, fmt.Errorf("cluster: Slot is required")
+	}
+	if opts.Ring == nil {
+		return nil, fmt.Errorf("cluster: Ring is required")
+	}
+	if err := opts.Ring.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	addr := opts.Ring.Addr(opts.Slot)
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: slot %q is not in the ring", opts.Slot)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("cluster: Dir is required (replication ships WAL bytes)")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+
+	n := &Node{
+		opts:     opts,
+		slot:     opts.Slot,
+		addr:     addr,
+		logger:   opts.Logger,
+		httpc:    opts.HTTPClient,
+		kit:      &api.Kit{MapError: mapClusterErr},
+		ring:     opts.Ring,
+		leaders:  make(map[string]*backend),
+		replicas: make(map[string]*replica),
+	}
+
+	// A node leads every ring slot mapped to its address, not just the one
+	// it was booted under: a 3-node deployment can carry a 9-slot ring with
+	// 3 slots per node, giving each node 3 independent WALs (and therefore
+	// 3 independent fsync streams) while keeping key placement stable as
+	// nodes are added.
+	for _, m := range opts.Ring.Members {
+		if m.Addr != addr {
+			continue
+		}
+		b, err := n.openBackend(m.Slot, filepath.Join(opts.Dir, m.Slot+".wal"))
+		if err != nil {
+			for _, prev := range n.leaders {
+				prev.svc.Close()
+				_ = prev.db.Close()
+			}
+			return nil, err
+		}
+		n.leaders[m.Slot] = b
+		if resumed, err := b.svc.ResumeRuns(context.Background()); err != nil {
+			n.logger.Printf("cluster %s: resume runs (%s): %v", n.slot, m.Slot, err)
+		} else if resumed > 0 {
+			n.logger.Printf("cluster %s: resumed %d interrupted run(s) on %s", n.slot, resumed, m.Slot)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/cluster/ring", n.handleRingGet)
+	mux.HandleFunc("POST /api/v1/cluster/ring", n.handleRingPost)
+	mux.HandleFunc("GET /api/v1/cluster/status", n.handleStatus)
+	mux.HandleFunc("GET /api/v1/cluster/wal", n.handleWAL)
+	mux.HandleFunc("POST /api/v1/cluster/promote", n.handlePromote)
+	mux.HandleFunc("/", n.routeKey)
+	n.handler = mux
+
+	n.mu.Lock()
+	n.syncFollowersLocked()
+	n.mu.Unlock()
+	return n, nil
+}
+
+// openBackend builds a full service stack over path for a slot this node
+// leads. The ID filter keeps minted project/provider/tagger IDs on this
+// node, so every record reachable through a routed URL lives with its slot.
+func (n *Node) openBackend(slot, path string) (*backend, error) {
+	db, err := store.Open(path, n.opts.Store)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open %s: %w", path, err)
+	}
+	svc := core.NewService(store.NewCatalog(db), n.opts.Seed)
+	svc.SetIDFilter(n.idFilterFor(slot))
+	srv := server.NewWith(svc, server.Options{
+		Logger:        nil,
+		RouteTimeout:  n.opts.RouteTimeout,
+		ExtraFamilies: n.Families,
+	})
+	return &backend{slot: slot, db: db, svc: svc, srv: srv}, nil
+}
+
+// idFilterFor gates minted IDs for one led slot: routed entity prefixes
+// must hash to exactly that slot — not merely some slot this node leads —
+// because routeKey dispatches by owner slot and the record must live in
+// the backend the router will pick. Project-scoped IDs (resources, tasks,
+// posts) are only reachable through their project's URL and pass
+// unfiltered.
+func (n *Node) idFilterFor(slot string) func(prefix, id string) bool {
+	return func(prefix, id string) bool {
+		switch prefix {
+		case "proj", "prov", "tag":
+		default:
+			return true
+		}
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		return n.ring.Owner(id) == slot
+	}
+}
+
+// Handler returns the node's HTTP surface: the cluster control endpoints
+// under /api/v1/cluster/ plus ring-routed access to every API route.
+func (n *Node) Handler() http.Handler { return n.handler }
+
+// PromHandler exposes the led slot's metrics (route histograms, store
+// durability counters, and — through the ExtraFamilies hook — the cluster
+// replication families).
+func (n *Node) PromHandler() http.Handler {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.leaders[n.slot].srv.PromHandler()
+}
+
+// Ring returns the node's current routing table.
+func (n *Node) Ring() *Ring {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring
+}
+
+// Addr returns the node's advertised address.
+func (n *Node) Addr() string { return n.addr }
+
+// Service returns the service backing the led slot (benchmarks drive it
+// directly for in-process setup work).
+func (n *Node) Service(slot string) *core.Service {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if b := n.leaders[slot]; b != nil {
+		return b.svc
+	}
+	return nil
+}
+
+// DB returns the store backing a led slot (nil when not led). The drill
+// uses it to wedge a node with a crash failpoint.
+func (n *Node) DB(slot string) *store.DB {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if b := n.leaders[slot]; b != nil {
+		return b.db
+	}
+	return nil
+}
+
+// ReplicaDB returns the replica store for a followed slot (nil when this
+// node does not follow it).
+func (n *Node) ReplicaDB(slot string) *store.DB {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if rep := n.replicas[slot]; rep != nil {
+		return rep.db
+	}
+	return nil
+}
+
+// routingKey extracts the placement key from an API path: the {id} that
+// follows a routed collection ("" routes to the local slot — collection
+// posts and lists, health, metrics).
+func routingKey(path string) string {
+	p := strings.TrimPrefix(path, "/api/v1/")
+	if p == path {
+		p = strings.TrimPrefix(path, "/api/")
+	}
+	if p == path {
+		return ""
+	}
+	first, rest, ok := strings.Cut(p, "/")
+	if !ok || rest == "" {
+		return ""
+	}
+	switch first {
+	case "projects", "users", "providers", "taggers":
+		if id, _, _ := strings.Cut(rest, "/"); id != "" {
+			return id
+		}
+	}
+	return ""
+}
+
+// routeKey serves one API request on the right store: the local leader
+// backend when this node owns the key, the replica when the caller opted
+// into follower reads and the replica is fresh enough, and a 421 redirect
+// naming the owner otherwise.
+func (n *Node) routeKey(w http.ResponseWriter, r *http.Request) {
+	key := routingKey(r.URL.Path)
+
+	n.mu.RLock()
+	ring := n.ring
+	var b *backend
+	var rep *replica
+	if key == "" {
+		b = n.leaders[n.slot]
+	} else {
+		owner := ring.Owner(key)
+		b = n.leaders[owner]
+		if b == nil {
+			rep = n.replicas[owner]
+		}
+	}
+	n.mu.RUnlock()
+
+	if b != nil {
+		b.srv.ServeHTTP(w, r)
+		return
+	}
+	owner := ring.Owner(key)
+	if rep != nil && r.Method == http.MethodGet && r.Header.Get(HeaderRead) == ReadFollower {
+		if rep.lag() <= n.opts.StalenessBound {
+			n.followerReads.Add(1)
+			w.Header().Set(HeaderServedBy, n.slot)
+			rep.srv.ServeHTTP(w, r)
+			return
+		}
+	}
+	n.notOwner.Add(1)
+	w.Header().Set(HeaderOwner, ring.Addr(owner))
+	n.kit.WriteError(w, r, api.Errorf(http.StatusMisdirectedRequest, api.CodeNotOwner,
+		"key %q is led by slot %s", key, owner))
+}
+
+// Routed headers.
+const (
+	// HeaderOwner names the owning node's address on 421 not_owner
+	// responses.
+	HeaderOwner = "X-Itag-Owner"
+	// HeaderRead set to ReadFollower opts a GET into follower reads.
+	HeaderRead   = "X-Itag-Read"
+	ReadFollower = "follower"
+	// HeaderServedBy names the follower slot that served an opt-in read.
+	HeaderServedBy = "X-Itag-Served-By"
+	// HeaderAppliedSeq carries the leader's applied watermark on
+	// replication responses.
+	HeaderAppliedSeq = "X-Itag-Applied-Seq"
+	// HeaderLastSeq carries the last sequence number included in a frames
+	// response.
+	HeaderLastSeq = "X-Itag-Last-Seq"
+	// HeaderFormat is "frames" (CRC-framed WAL records) or "snapshot" (a
+	// full snapshot encoding) on replication responses.
+	HeaderFormat   = "X-Itag-Format"
+	FormatFrames   = "frames"
+	FormatSnapshot = "snapshot"
+)
+
+// mapClusterErr maps store/core taxonomy errors on the cluster control
+// endpoints the same way the API server does.
+func mapClusterErr(err error) *api.Error {
+	if te := errs.Find(err); te != nil {
+		return api.FromTaxonomy(te, err)
+	}
+	return api.Wrap(http.StatusInternalServerError, api.CodeInternal, err)
+}
+
+// handleRingGet serves the current routing table.
+func (n *Node) handleRingGet(w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	ring := n.ring
+	n.mu.RUnlock()
+	api.WriteJSON(w, http.StatusOK, ring)
+}
+
+// handleRingPost installs a pushed ring if it is strictly newer than the
+// current one; stale pushes are acknowledged but ignored, so a slow
+// propagation can never roll back a promotion.
+func (n *Node) handleRingPost(w http.ResponseWriter, r *http.Request) {
+	var ring Ring
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&ring); err != nil {
+		n.kit.WriteError(w, r, api.Wrap(http.StatusBadRequest, api.CodeInvalidRequest, err))
+		return
+	}
+	if err := ring.Validate(); err != nil {
+		n.kit.WriteError(w, r, api.Wrap(http.StatusBadRequest, api.CodeInvalidArgument, err))
+		return
+	}
+	installed := n.installRing(&ring)
+	n.mu.RLock()
+	v := n.ring.Version
+	n.mu.RUnlock()
+	api.WriteJSON(w, http.StatusOK, map[string]any{"installed": installed, "version": v})
+}
+
+// installRing swaps in a strictly newer ring and reconciles the follower
+// set. It reports whether the ring was installed.
+func (n *Node) installRing(ring *Ring) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || ring.Version <= n.ring.Version {
+		return false
+	}
+	n.ring = ring
+	n.logger.Printf("cluster %s: installed ring v%d", n.slot, ring.Version)
+	n.syncFollowersLocked()
+	return true
+}
+
+// slotStatus is one slot's view in the status report.
+type slotStatus struct {
+	Slot       string `json:"slot"`
+	Role       string `json:"role"` // "leader" | "follower"
+	AppliedSeq uint64 `json:"applied_seq"`
+	LeaderSeq  uint64 `json:"leader_seq,omitempty"`
+	Lag        uint64 `json:"lag,omitempty"`
+}
+
+type statusResp struct {
+	Slot          string       `json:"slot"`
+	Addr          string       `json:"addr"`
+	RingVersion   uint64       `json:"ring_version"`
+	Slots         []slotStatus `json:"slots"`
+	NotOwner      uint64       `json:"not_owner_total"`
+	FollowerReads uint64       `json:"follower_reads_total"`
+}
+
+// handleStatus reports the node's replication posture; the drill and the
+// quickstart poll it to watch watermarks converge.
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, n.Status())
+}
+
+// Status snapshots the node's role and watermark for every slot it hosts.
+func (n *Node) Status() statusResp {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	resp := statusResp{
+		Slot:          n.slot,
+		Addr:          n.addr,
+		RingVersion:   n.ring.Version,
+		NotOwner:      n.notOwner.Load(),
+		FollowerReads: n.followerReads.Load(),
+	}
+	for slot, b := range n.leaders {
+		resp.Slots = append(resp.Slots, slotStatus{Slot: slot, Role: "leader", AppliedSeq: b.db.AppliedSeq()})
+	}
+	for slot, rep := range n.replicas {
+		resp.Slots = append(resp.Slots, slotStatus{
+			Slot: slot, Role: "follower",
+			AppliedSeq: rep.db.AppliedSeq(),
+			LeaderSeq:  rep.leaderSeq.Load(),
+			Lag:        rep.lag(),
+		})
+	}
+	sortSlotStatuses(resp.Slots)
+	return resp
+}
+
+func sortSlotStatuses(s []slotStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Slot < s[j-1].Slot; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// handleWAL is the leader half of replication: it serves the framed WAL
+// tail from `from` (exclusive), or a full snapshot when compaction has
+// swallowed the requested tail. Followers poll it; see puller.go.
+func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
+	slot := r.URL.Query().Get("slot")
+	if slot == "" {
+		slot = n.slot
+	}
+	n.mu.RLock()
+	b := n.leaders[slot]
+	ownerAddr := n.ring.Addr(slot)
+	n.mu.RUnlock()
+	if b == nil {
+		w.Header().Set(HeaderOwner, ownerAddr)
+		n.kit.WriteError(w, r, api.Errorf(http.StatusMisdirectedRequest, api.CodeNotOwner,
+			"slot %q is not led here", slot))
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil && r.URL.Query().Get("from") != "" {
+		n.kit.WriteError(w, r, api.Errorf(http.StatusBadRequest, api.CodeInvalidArgument, "bad from: %v", err))
+		return
+	}
+	maxBytes := n.opts.PullBytes
+	if s := r.URL.Query().Get("max"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			n.kit.WriteError(w, r, api.Errorf(http.StatusBadRequest, api.CodeInvalidArgument, "bad max: %q", s))
+			return
+		}
+		if v < maxBytes {
+			maxBytes = v
+		}
+	}
+
+	w.Header().Set(HeaderAppliedSeq, strconv.FormatUint(b.db.AppliedSeq(), 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	data, last, err := b.db.ReplTail(from, maxBytes)
+	switch {
+	case err == nil:
+		w.Header().Set(HeaderFormat, FormatFrames)
+		w.Header().Set(HeaderLastSeq, strconv.FormatUint(last, 10))
+		_, _ = w.Write(data)
+	case errors.Is(err, store.ErrSnapshotNeeded):
+		// The tail was compacted away: ship a snapshot cut instead.
+		snap, serr := b.db.SnapshotExport()
+		if serr != nil {
+			n.kit.WriteError(w, r, serr)
+			return
+		}
+		w.Header().Set(HeaderFormat, FormatSnapshot)
+		_, _ = w.Write(snap)
+	default:
+		n.kit.WriteError(w, r, err)
+	}
+}
+
+type promoteReq struct {
+	Slot string `json:"slot"`
+}
+
+// handlePromote promotes this node's replica of req.Slot to leader.
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req promoteReq
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		n.kit.WriteError(w, r, api.Wrap(http.StatusBadRequest, api.CodeInvalidRequest, err))
+		return
+	}
+	if err := n.Promote(r.Context(), req.Slot); err != nil {
+		n.kit.WriteError(w, r, err)
+		return
+	}
+	n.mu.RLock()
+	v := n.ring.Version
+	n.mu.RUnlock()
+	api.WriteJSON(w, http.StatusOK, map[string]any{"slot": req.Slot, "ring_version": v})
+}
+
+// Promote turns this node's replica of slot into a leader backend: the
+// puller stops, the replica store — already durable, already caught up to
+// its watermark — is wrapped in a full service stack, interrupted runs
+// resume, and a version-bumped ring pointing the slot at this node is
+// installed locally and pushed to the other members. Placement never
+// changes (vnode identity is the slot name), so no keys move.
+func (n *Node) Promote(ctx context.Context, slot string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errs.New(errs.ComponentStore, errs.CategoryValidation, "node is closed")
+	}
+	if _, led := n.leaders[slot]; led {
+		n.mu.Unlock()
+		return nil // idempotent
+	}
+	rep := n.replicas[slot]
+	if rep == nil {
+		n.mu.Unlock()
+		return errs.New(errs.ComponentStore, errs.CategoryValidation,
+			"slot %q is not followed by this node", slot)
+	}
+	delete(n.replicas, slot)
+	n.mu.Unlock()
+
+	rep.cancel()
+	<-rep.done
+	rep.svc.Close()
+
+	// The replica store ran without per-record fsync (its durability was
+	// anchored at the dead leader's WAL, which is gone now). A leader's
+	// acks must be durable on its own disk, so flush and reopen the store
+	// under the leader's sync discipline, then rebuild the stack: a fresh
+	// service with the ID filter and run-resume the read-only frontend
+	// never had.
+	path := filepath.Join(n.opts.Dir, "replica-"+slot+".wal")
+	if err := rep.db.Close(); err != nil {
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "promote %s: flush replica", slot)
+	}
+	db, err := store.Open(path, n.opts.Store)
+	if err != nil {
+		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "promote %s: reopen replica", slot)
+	}
+	svc := core.NewService(store.NewCatalog(db), n.opts.Seed)
+	svc.SetIDFilter(n.idFilterFor(slot))
+	srv := server.NewWith(svc, server.Options{RouteTimeout: n.opts.RouteTimeout, ExtraFamilies: n.Families})
+	b := &backend{slot: slot, db: db, svc: svc, srv: srv}
+
+	n.mu.Lock()
+	n.leaders[slot] = b
+	ring := n.ring.Clone()
+	ring.Version++
+	for i := range ring.Members {
+		if ring.Members[i].Slot == slot {
+			ring.Members[i].Addr = n.addr
+		}
+	}
+	n.ring = ring
+	n.syncFollowersLocked()
+	n.mu.Unlock()
+
+	if resumed, err := svc.ResumeRuns(ctx); err != nil {
+		n.logger.Printf("cluster %s: promote %s: resume runs: %v", n.slot, slot, err)
+	} else {
+		n.logger.Printf("cluster %s: promoted slot %s at seq %d (%d run(s) resumed), ring v%d",
+			n.slot, slot, b.db.AppliedSeq(), resumed, ring.Version)
+	}
+	n.pushRing(ctx, ring)
+	return nil
+}
+
+// pushRing best-effort-propagates a new ring to every other member; nodes
+// that are down catch up from peers on their next poll or restart.
+func (n *Node) pushRing(ctx context.Context, ring *Ring) {
+	body, err := json.Marshal(ring)
+	if err != nil {
+		return
+	}
+	for _, m := range ring.Members {
+		if m.Addr == n.addr {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			m.Addr+"/api/v1/cluster/ring", strings.NewReader(string(body)))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.httpc.Do(req)
+		if err != nil {
+			n.logger.Printf("cluster %s: push ring v%d to %s: %v", n.slot, ring.Version, m.Addr, err)
+			continue
+		}
+		resp.Body.Close()
+	}
+}
+
+// syncFollowersLocked reconciles the running pullers with the current
+// ring: this node follows every slot whose Followers set (successor slots
+// in hash order) contains any slot it leads and that it does not lead
+// itself. Callers hold n.mu.
+func (n *Node) syncFollowersLocked() {
+	desired := make(map[string]bool)
+	for _, m := range n.ring.Members {
+		if _, led := n.leaders[m.Slot]; led {
+			continue
+		}
+		for _, f := range n.ring.Followers(m.Slot, n.opts.Replicas) {
+			if _, led := n.leaders[f]; led {
+				desired[m.Slot] = true
+			}
+		}
+	}
+	for slot, rep := range n.replicas {
+		if !desired[slot] {
+			delete(n.replicas, slot)
+			go func(rep *replica) {
+				rep.cancel()
+				<-rep.done
+				rep.svc.Close()
+				_ = rep.db.Close()
+			}(rep)
+		}
+	}
+	for slot := range desired {
+		if _, ok := n.replicas[slot]; ok {
+			continue
+		}
+		rep, err := n.startReplica(slot)
+		if err != nil {
+			n.logger.Printf("cluster %s: follow %s: %v", n.slot, slot, err)
+			continue
+		}
+		n.replicas[slot] = rep
+	}
+}
+
+// startReplica opens the replica store for slot and starts its puller.
+//
+// The replica store runs without per-record fsync regardless of the
+// leader's durability settings: a replica's unsynced tail is always
+// re-fetchable from the leader by watermark (AppliedSeq is recovered from
+// whatever the local WAL retained), so durability for the slot is anchored
+// at the leader's fsync, and paying it twice would only throttle catch-up.
+func (n *Node) startReplica(slot string) (*replica, error) {
+	ropts := n.opts.Store
+	ropts.SyncEvery = 0
+	ropts.GroupCommitWindow = 0
+	db, err := store.Open(filepath.Join(n.opts.Dir, "replica-"+slot+".wal"), ropts)
+	if err != nil {
+		return nil, err
+	}
+	svc := core.NewService(store.NewCatalog(db), n.opts.Seed)
+	srv := server.NewWith(svc, server.Options{RouteTimeout: n.opts.RouteTimeout})
+	ctx, cancel := context.WithCancel(context.Background())
+	rep := &replica{slot: slot, db: db, svc: svc, srv: srv, cancel: cancel, done: make(chan struct{})}
+	n.wg.Add(1)
+	go n.pullLoop(ctx, rep)
+	return rep, nil
+}
+
+// Close stops the pullers and closes every store. The led slot's service
+// is closed first so in-flight runs stop writing.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	leaders := make([]*backend, 0, len(n.leaders))
+	for _, b := range n.leaders {
+		leaders = append(leaders, b)
+	}
+	replicas := make([]*replica, 0, len(n.replicas))
+	for _, rep := range n.replicas {
+		replicas = append(replicas, rep)
+	}
+	n.replicas = make(map[string]*replica)
+	n.mu.Unlock()
+
+	for _, rep := range replicas {
+		rep.cancel()
+	}
+	n.wg.Wait()
+	var firstErr error
+	for _, rep := range replicas {
+		rep.svc.Close()
+		if err := rep.db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, b := range leaders {
+		b.svc.Close()
+		if err := b.db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

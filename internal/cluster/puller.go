@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"itag/internal/errs"
+)
+
+// The follower half of replication. Each followed slot gets one puller
+// goroutine that polls the leader's /api/v1/cluster/wal endpoint: the
+// leader answers with CRC-framed WAL records past the follower's applied
+// watermark, or with a full snapshot when compaction has swallowed that
+// tail. The follower ingests through the store's replication entry points
+// (ApplyReplicated / InstallSnapshot), which validate every frame before
+// touching state — a corrupt or truncated shipment is rejected whole and
+// the next poll retries from the unchanged watermark, so there is never a
+// silent gap.
+
+// maxSnapshotBytes bounds a snapshot response; snapshots carry whole-store
+// state and are not subject to the frame budget.
+const maxSnapshotBytes = 1 << 30
+
+// pullLoop drives one followed slot until ctx ends. Rounds that made
+// progress loop immediately (catch-up); idle or failing rounds wait out
+// the poll interval.
+func (n *Node) pullLoop(ctx context.Context, rep *replica) {
+	defer n.wg.Done()
+	defer close(rep.done)
+	ticker := time.NewTicker(n.opts.PullInterval)
+	defer ticker.Stop()
+	for {
+		progressed, err := n.pullOnce(ctx, rep)
+		if err != nil && ctx.Err() == nil {
+			rep.countErr(err)
+			n.logger.Printf("cluster %s: pull %s: %v", n.slot, rep.slot, err)
+		}
+		if progressed && ctx.Err() == nil {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// pullOnce fetches and applies one shipment. It reports whether the
+// replica advanced (caller loops immediately on progress).
+func (n *Node) pullOnce(ctx context.Context, rep *replica) (bool, error) {
+	n.mu.RLock()
+	addr := n.ring.Addr(rep.slot)
+	n.mu.RUnlock()
+	if addr == "" || addr == n.addr {
+		// Slot left the ring or moved here; syncFollowers will reconcile.
+		return false, nil
+	}
+	from := rep.db.AppliedSeq()
+	url := fmt.Sprintf("%s/api/v1/cluster/wal?slot=%s&from=%d&max=%d", addr, rep.slot, from, n.opts.PullBytes)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := n.httpc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("leader %s: %s: %s", addr, resp.Status, body)
+	}
+	if seq, err := strconv.ParseUint(resp.Header.Get(HeaderAppliedSeq), 10, 64); err == nil {
+		rep.leaderSeq.Store(seq)
+	}
+
+	switch format := resp.Header.Get(HeaderFormat); format {
+	case FormatSnapshot:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+		if err != nil {
+			return false, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "read snapshot body")
+		}
+		if err := rep.db.InstallSnapshot(data); err != nil {
+			return false, err
+		}
+		rep.pulls.Add(1)
+		rep.pullBytes.Add(uint64(len(data)))
+		return true, nil
+	case FormatFrames:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, int64(n.opts.PullBytes)+1))
+		if err != nil {
+			return false, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "read frames body")
+		}
+		rep.pulls.Add(1)
+		if len(data) == 0 {
+			return false, nil // caught up
+		}
+		if _, err := rep.db.ApplyReplicated(data); err != nil {
+			return false, err
+		}
+		rep.pullBytes.Add(uint64(len(data)))
+		return true, nil
+	default:
+		return false, fmt.Errorf("leader %s: unknown replication format %q", addr, format)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+// Run resumption rebuilds a Service's in-memory state from the catalog — the
+// promotion path of the cluster layer. A follower that takes over a key
+// range holds the leader's full persisted state (projects, resources,
+// posts, tasks, users) but none of its process state: no live Runs, an
+// empty users.Manager, an ID counter at zero. ResumeRuns reconstructs what
+// the catalog can support:
+//
+//   - users are re-registered with the User Manager (judgment tallies and
+//     ledger balances are process-local aggregates and restart empty; the
+//     authoritative Judged/JudgedOK counts live in the user records)
+//   - the ID counter advances past every persisted ID so new registrations
+//     and projects cannot collide with replicated ones
+//   - every active project with remaining budget gets a rebuilt manual Run:
+//     seed posts replayed from the post log restore the engine's quality
+//     state, resource stop/promote flags are re-applied, and the task
+//     counter resumes past the highest persisted task ID so task IDs stay
+//     unique across the failover
+//
+// Simulated runs (world != nil) do not survive: their latent worlds and
+// tagger populations are process state by design. Their projects resume as
+// manual projects — persisted posts and tasks remain fully servable.
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"itag/internal/dataset"
+	"itag/internal/store"
+	"itag/internal/strategy"
+)
+
+// ResumeRuns rebuilds in-memory run state from the catalog (see the file
+// comment). It is idempotent: projects that already hold a live run are
+// left alone. Returns the number of runs rebuilt.
+func (s *Service) ResumeRuns(ctx context.Context) (int, error) {
+	users, err := s.cat.ListUsers("")
+	if err != nil {
+		return 0, err
+	}
+	maxID := 0
+	for _, u := range users {
+		switch u.Role {
+		case store.RoleProvider:
+			s.um.RegisterProvider(u.ID)
+		case store.RoleTagger:
+			s.um.RegisterTagger(u.ID)
+		}
+		maxID = maxIDSuffix(maxID, u.ID)
+	}
+	projects, err := s.cat.ListProjects("")
+	if err != nil {
+		return 0, err
+	}
+	for _, rec := range projects {
+		maxID = maxIDSuffix(maxID, rec.ID)
+	}
+	s.mu.Lock()
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	s.mu.Unlock()
+
+	resumed := 0
+	for _, rec := range projects {
+		if err := ctx.Err(); err != nil {
+			return resumed, err
+		}
+		if rec.Status != store.ProjectActive {
+			continue
+		}
+		s.mu.Lock()
+		_, live := s.runs[rec.ID]
+		s.mu.Unlock()
+		if live {
+			continue
+		}
+		run, err := s.rebuildRun(rec)
+		if err != nil {
+			return resumed, err
+		}
+		if run == nil {
+			continue // exhausted or unresumable; reads stay served
+		}
+		s.mu.Lock()
+		if _, exists := s.runs[rec.ID]; !exists {
+			s.runs[rec.ID] = run
+			resumed++
+		}
+		s.mu.Unlock()
+	}
+	return resumed, nil
+}
+
+// rebuildRun reconstructs one project's manual Run from the catalog, or
+// returns (nil, nil) when the project cannot issue further tasks (budget
+// exhausted, no resources).
+func (s *Service) rebuildRun(rec store.ProjectRec) (*Run, error) {
+	recs, err := s.cat.ListResources(rec.ID)
+	if err != nil || len(recs) == 0 {
+		return nil, err
+	}
+	resources := make([]dataset.Resource, len(recs))
+	seedPosts := make(map[string][][]string)
+	for i, r := range recs {
+		resources[i] = dataset.Resource{
+			ID: r.ID, Kind: dataset.Kind(r.Kind), Name: r.Name,
+			Topic: r.Topic, Popularity: r.Popularity,
+		}
+		posts, perr := s.cat.PostsOf(r.ID)
+		if perr != nil {
+			return nil, perr
+		}
+		for _, p := range posts {
+			if len(p.Tags) > 0 {
+				seedPosts[r.ID] = append(seedPosts[r.ID], p.Tags)
+			}
+		}
+	}
+	tasks, err := s.cat.TasksByProject(rec.ID, "")
+	if err != nil {
+		return nil, err
+	}
+	completed, maxTask := 0, 0
+	for _, t := range tasks {
+		if t.Status == store.TaskCompleted {
+			completed++
+		}
+		maxTask = maxIDSuffix(maxTask, t.ID)
+	}
+	// The engine re-counts budget from zero, so size it to what is left.
+	// Spent is persisted on stop/finish; completed tasks are the live
+	// lower bound for a leader that died mid-run.
+	spent := rec.Spent
+	if completed > spent {
+		spent = completed
+	}
+	if rec.Budget-spent <= 0 {
+		return nil, nil
+	}
+	strat, err := strategy.Parse(rec.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	spec := ProjectSpec{
+		ProviderID: rec.ProviderID, Name: rec.Name, Kind: rec.Kind,
+		Budget: rec.Budget - spent, PayPerTask: rec.PayPerTask,
+		Strategy: rec.Strategy, Platform: rec.Platform, SeedPosts: seedPosts,
+	}
+	run, err := s.buildRun(rec.ID, spec, resources, nil, strat, s.seed+int64(maxTask))
+	if err != nil {
+		return nil, err
+	}
+	run.taskSeq = maxTask
+	for _, r := range recs {
+		if r.Promoted {
+			_ = run.Engine.Promote(r.ID)
+		}
+		if r.Stopped {
+			_ = run.Engine.StopResource(r.ID)
+		}
+	}
+	return run, nil
+}
+
+// maxIDSuffix folds an ID of the form "<prefix>-<digits>" into the running
+// maximum of its numeric suffix (IDs minted by newID and RequestTask).
+func maxIDSuffix(cur int, id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return cur
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil || n <= cur {
+		return cur
+	}
+	return n
+}

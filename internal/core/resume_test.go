@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"itag/internal/dataset"
+	"itag/internal/store"
+)
+
+// TestResumeRunsAfterFailover replays the cluster promotion scenario: a
+// second Service over the same catalog (as a promoted follower holds after
+// replication) must rebuild enough in-memory state to keep serving the
+// manual-tagging surface without ID collisions.
+func TestResumeRunsAfterFailover(t *testing.T) {
+	ctx := context.Background()
+	db := store.OpenMemory()
+	s1 := NewService(store.NewCatalog(db), 7)
+	defer s1.Close()
+
+	prov, err := s1.RegisterProvider(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagger, err := s1.RegisterTagger(ctx, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := s1.CreateProject(ctx, ProjectSpec{
+		ProviderID: prov, Name: "manual", Budget: 10, PayPerTask: 0.05,
+		Resources: []dataset.Resource{{ID: "res-a", Name: "A"}, {ID: "res-b", Name: "B"}},
+		SeedPosts: map[string][][]string{"res-a": {{"seed", "tags"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete two tasks and leave a third assigned (in flight at "crash").
+	for i := 0; i < 2; i++ {
+		task, err := s1.RequestTask(ctx, proj, tagger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.SubmitTask(ctx, proj, task.ID, []string{"alpha", "beta"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inflight, err := s1.RequestTask(ctx, proj, tagger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.StopResource(ctx, proj, "res-b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failover: a fresh Service over the same catalog, no process state.
+	s2 := NewService(store.NewCatalog(db), 7)
+	defer s2.Close()
+	if _, err := s2.RequestTask(ctx, proj, tagger); err == nil {
+		t.Fatal("RequestTask before ResumeRuns should fail (no live run)")
+	}
+	n, err := s2.ResumeRuns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ResumeRuns rebuilt %d runs, want 1", n)
+	}
+	if n2, err := s2.ResumeRuns(ctx); err != nil || n2 != 0 {
+		t.Fatalf("second ResumeRuns = (%d, %v), want idempotent (0, nil)", n2, err)
+	}
+
+	// Task IDs must continue past every persisted task, including the one
+	// still assigned at failover.
+	task, err := s2.RequestTask(ctx, proj, tagger)
+	if err != nil {
+		t.Fatalf("RequestTask after resume: %v", err)
+	}
+	if task.ID <= inflight.ID {
+		t.Fatalf("resumed task ID %q does not continue past %q", task.ID, inflight.ID)
+	}
+	if err := s2.SubmitTask(ctx, proj, task.ID, []string{"gamma"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stopped resource flag survived into the rebuilt engine: with
+	// res-b stopped every new assignment lands on res-a.
+	for i := 0; i < 3; i++ {
+		tk, err := s2.RequestTask(ctx, proj, tagger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.ResourceID != "res-a" {
+			t.Fatalf("task %q assigned stopped resource %q", tk.ID, tk.ResourceID)
+		}
+	}
+
+	// Judging uses the re-registered User Manager.
+	posts, err := s2.Catalog().PostsOf("res-a")
+	if err != nil || len(posts) == 0 {
+		t.Fatalf("PostsOf after failover: %d posts, err %v", len(posts), err)
+	}
+	if err := s2.JudgePost(ctx, proj, "res-a", 1, true); err != nil {
+		t.Fatalf("JudgePost after resume: %v", err)
+	}
+
+	// Newly minted IDs continue past replicated ones.
+	tag2, err := s2.RegisterTagger(ctx, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag2 == tagger || tag2 <= tagger {
+		t.Fatalf("new tagger ID %q collides with or precedes replicated %q", tag2, tagger)
+	}
+}
+
+// TestResumeRunsSkipsExhaustedProjects: a project with no budget left gets
+// no run — reads still work, task issuance reports a missing run.
+func TestResumeRunsSkipsExhaustedProjects(t *testing.T) {
+	ctx := context.Background()
+	db := store.OpenMemory()
+	s1 := NewService(store.NewCatalog(db), 3)
+	defer s1.Close()
+	prov, _ := s1.RegisterProvider(ctx, "p")
+	tagger, _ := s1.RegisterTagger(ctx, "t")
+	proj, err := s1.CreateProject(ctx, ProjectSpec{
+		ProviderID: prov, Budget: 2,
+		Resources: []dataset.Resource{{ID: "res-x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		task, err := s1.RequestTask(ctx, proj, tagger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.SubmitTask(ctx, proj, task.ID, []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := NewService(store.NewCatalog(db), 3)
+	defer s2.Close()
+	if n, err := s2.ResumeRuns(ctx); err != nil || n != 0 {
+		t.Fatalf("ResumeRuns = (%d, %v), want (0, nil) for exhausted project", n, err)
+	}
+	if _, err := s2.Project(ctx, proj); err != nil {
+		t.Fatalf("exhausted project must stay readable: %v", err)
+	}
+}
+
+func TestNewIDFilter(t *testing.T) {
+	ctx := context.Background()
+	s := NewService(store.NewCatalog(store.OpenMemory()), 1)
+	defer s.Close()
+	// Only IDs ending in an even digit are "ours".
+	s.SetIDFilter(func(prefix, id string) bool {
+		return int(id[len(id)-1]-'0')%2 == 0
+	})
+	for i := 0; i < 5; i++ {
+		id, err := s.RegisterTagger(ctx, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(id[len(id)-1]-'0')%2 != 0 {
+			t.Fatalf("minted ID %q rejected by the installed filter", id)
+		}
+		if !strings.HasPrefix(id, "tag-") {
+			t.Fatalf("unexpected ID shape %q", id)
+		}
+	}
+}

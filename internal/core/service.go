@@ -11,6 +11,7 @@ import (
 	"itag/internal/crowd"
 	"itag/internal/dataset"
 	"itag/internal/errs"
+	"itag/internal/quality"
 	"itag/internal/rng"
 	"itag/internal/store"
 	"itag/internal/strategy"
@@ -39,6 +40,10 @@ type Service struct {
 	nextID  int
 	seed    int64
 	nowFunc func() time.Time
+	// idFilter, when set, gates minted IDs: newID skips candidates the
+	// filter rejects. The cluster layer installs one so a node only mints
+	// project/user IDs whose hash routes back to itself.
+	idFilter func(prefix, id string) bool
 
 	lifeCtx    context.Context
 	cancelLife context.CancelFunc
@@ -106,9 +111,26 @@ func (s *Service) StoreStats() *store.Stats {
 	return nil
 }
 
+// SetIDFilter installs a predicate over freshly minted IDs; newID skips
+// candidates it rejects. Install before serving requests (it is read under
+// s.mu but routing decisions made with a stale filter are not corrected).
+func (s *Service) SetIDFilter(f func(prefix, id string) bool) {
+	s.mu.Lock()
+	s.idFilter = f
+	s.mu.Unlock()
+}
+
 func (s *Service) newID(prefix string) string {
-	s.nextID++
-	return fmt.Sprintf("%s-%06d", prefix, s.nextID)
+	// With an idFilter (cluster mode, ~N nodes) the expected number of
+	// skips is N-1; the cap only guards against a filter that rejects
+	// everything, where minting a foreign ID beats spinning forever.
+	for tries := 0; ; tries++ {
+		s.nextID++
+		id := fmt.Sprintf("%s-%06d", prefix, s.nextID)
+		if s.idFilter == nil || s.idFilter(prefix, id) || tries >= 4096 {
+			return id
+		}
+	}
 }
 
 // --- users --------------------------------------------------------------------
@@ -924,9 +946,18 @@ func (s *Service) ExportPage(ctx context.Context, projectID, cursor string, limi
 	if err != nil {
 		return nil, "", err
 	}
-	run, err := s.run(projectID)
-	if err != nil {
-		return nil, "", err
+	run, runErr := s.run(projectID)
+	if runErr != nil {
+		// No live run: a follower replica, or a finished project. The
+		// export is still servable from the catalog alone — replaying a
+		// resource's persisted posts through a fresh tracker reproduces
+		// the live engine's quality state, because trackers are a pure
+		// fold over the post sequence and manual runs use the default
+		// quality config. The project must at least exist; when it does
+		// not, the unknown-project error keeps the legacy wire contract.
+		if _, err := s.cat.GetProject(projectID); err != nil {
+			return nil, "", runErr
+		}
 	}
 	out := make([]ExportedResource, 0, 16)
 	next := ""
@@ -938,20 +969,58 @@ func (s *Service) ExportPage(ctx context.Context, projectID, cursor string, limi
 			next = encodeCursor(out[len(out)-1].ID)
 			return false
 		}
-		st, err := run.Engine.Status(rec.ID)
-		if err != nil {
-			return true // not part of the live run; skip, as Export always has
+		var row ExportedResource
+		if runErr == nil {
+			st, err := run.Engine.Status(rec.ID)
+			if err != nil {
+				return true // not part of the live run; skip, as Export always has
+			}
+			row = ExportedResource{
+				ID: rec.ID, Name: rec.Name, Posts: st.Posts,
+				Stability: st.Stability, TopTags: st.TopTags,
+			}
+		} else {
+			st, err := s.exportFromCatalog(rec.ID)
+			if err != nil {
+				return true
+			}
+			row = st
+			row.Name = rec.Name
 		}
-		out = append(out, ExportedResource{
-			ID: rec.ID, Name: rec.Name, Posts: st.Posts,
-			Stability: st.Stability, TopTags: st.TopTags,
-		})
+		out = append(out, row)
 		return true
 	})
 	if scanErr != nil {
 		return nil, "", scanErr
 	}
 	return out, next, nil
+}
+
+// exportFromCatalog computes one resource's export row purely from its
+// persisted posts — the read path a runless service (a cluster follower)
+// serves Export with. Posts replay in append order, the order the live
+// engine saw them, so the numbers match the leader's export exactly.
+func (s *Service) exportFromCatalog(resourceID string) (ExportedResource, error) {
+	posts, err := s.cat.PostsOf(resourceID)
+	if err != nil {
+		return ExportedResource{}, err
+	}
+	tr := quality.NewTrackerShared(quality.Config{}, s.intern)
+	n := 0
+	for _, p := range posts {
+		if len(p.Tags) == 0 {
+			continue
+		}
+		if err := tr.AddPost(p.Tags); err != nil {
+			return ExportedResource{}, err
+		}
+		n++
+	}
+	row := ExportedResource{ID: resourceID, Posts: n, Stability: tr.Quality()}
+	for _, tf := range tr.Counts().TopK(10) {
+		row.TopTags = append(row.TopTags, TagFreq{Tag: tf.Tag, Count: tf.Count, Freq: tf.Freq})
+	}
+	return row, nil
 }
 
 // --- cursors ------------------------------------------------------------------

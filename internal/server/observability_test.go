@@ -37,10 +37,12 @@ func TestTaxonomyCoverage(t *testing.T) {
 		seen[spec.Code] = true
 	}
 
-	// Transport-level codes the kit raises itself, outside mapErr.
+	// Transport-level codes raised outside mapErr: by the kit itself, or —
+	// for not_owner — by the cluster router before a handler is reached.
 	transport := map[string]bool{
 		api.CodeInvalidRequest: true,
 		api.CodeBatchTooLarge:  true,
+		api.CodeNotOwner:       true,
 		api.CodeTimeout:        true,
 		api.CodeCanceled:       true,
 		api.CodeInternal:       true,

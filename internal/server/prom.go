@@ -18,6 +18,9 @@ func (s *Server) PromHandler() http.Handler {
 		if st := s.svc.StoreStats(); st != nil {
 			fams = append(fams, storeFamilies(st)...)
 		}
+		if s.extraFams != nil {
+			fams = append(fams, s.extraFams()...)
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = api.WriteExposition(w, fams)
 	})

@@ -68,6 +68,11 @@ type Options struct {
 	// stream (default 512). Small values make slow consumers drop sooner;
 	// tests use 1–2 to exercise the drop path deterministically.
 	SSEBuffer int
+	// ExtraFamilies, when non-nil, contributes additional metric families
+	// to PromHandler's exposition. The cluster layer injects its
+	// replication watermarks through this hook so the pinned route and
+	// store families stay untouched.
+	ExtraFamilies func() []api.Family
 }
 
 // Server is the HTTP frontend over a core.Service.
@@ -78,6 +83,7 @@ type Server struct {
 	metrics      *api.Metrics
 	routeTimeout time.Duration
 	sseBuffer    int
+	extraFams    func() []api.Family
 	handler      http.Handler
 }
 
@@ -100,6 +106,7 @@ func NewWith(svc *core.Service, opts Options) *Server {
 		metrics:      api.NewMetrics(),
 		routeTimeout: opts.RouteTimeout,
 		sseBuffer:    opts.SSEBuffer,
+		extraFams:    opts.ExtraFamilies,
 	}
 	s.kit = &api.Kit{MapError: mapErr, Metrics: s.metrics}
 	s.routes()

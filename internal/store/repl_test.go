@@ -1,0 +1,390 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"itag/internal/errs"
+)
+
+func dumpAll(t *testing.T, db *DB) map[string]map[string]string {
+	t.Helper()
+	out := make(map[string]map[string]string)
+	for _, table := range db.Tables() {
+		m := make(map[string]string)
+		db.Scan(table, func(key string, raw []byte) bool {
+			m[key] = string(raw)
+			return true
+		})
+		out[table] = m
+	}
+	return out
+}
+
+func diffStates(t *testing.T, want, got map[string]map[string]string) {
+	t.Helper()
+	for table, wm := range want {
+		gm := got[table]
+		for k, v := range wm {
+			if gm[k] != v {
+				t.Fatalf("table %s key %s: leader %q, follower %q", table, k, v, gm[k])
+			}
+		}
+		if len(gm) != len(wm) {
+			t.Fatalf("table %s: leader holds %d keys, follower %d", table, len(wm), len(gm))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("leader has %d tables, follower %d", len(want), len(got))
+	}
+}
+
+// pullOnce ships one ReplTail batch from leader to follower, transparently
+// falling back to a snapshot install — the same loop the cluster puller
+// runs. Returns false once the follower is caught up.
+func pullOnce(t *testing.T, leader, follower *DB, maxBytes int) bool {
+	t.Helper()
+	from := follower.AppliedSeq()
+	data, last, err := leader.ReplTail(from, maxBytes)
+	if errors.Is(err, ErrSnapshotNeeded) {
+		img, serr := leader.SnapshotExport()
+		if serr != nil {
+			t.Fatalf("SnapshotExport: %v", serr)
+		}
+		if ierr := follower.InstallSnapshot(img); ierr != nil {
+			t.Fatalf("InstallSnapshot: %v", ierr)
+		}
+		return true
+	}
+	if err != nil {
+		t.Fatalf("ReplTail(%d): %v", from, err)
+	}
+	if len(data) == 0 {
+		return false
+	}
+	applied, err := follower.ApplyReplicated(data)
+	if err != nil {
+		t.Fatalf("ApplyReplicated after %d: %v", from, err)
+	}
+	if applied != last {
+		t.Fatalf("ApplyReplicated reached seq %d, tail said %d", applied, last)
+	}
+	return true
+}
+
+func catchUp(t *testing.T, leader, follower *DB, maxBytes int) {
+	t.Helper()
+	for i := 0; pullOnce(t, leader, follower, maxBytes); i++ {
+		if i > 10000 {
+			t.Fatal("replication did not converge")
+		}
+	}
+	if lw, fw := leader.AppliedSeq(), follower.AppliedSeq(); fw != lw {
+		t.Fatalf("follower watermark %d, leader %d", fw, lw)
+	}
+}
+
+func TestReplicationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{SyncEvery: 1, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower, err := Open(filepath.Join(dir, "follower.wal"), Options{SyncEvery: 1, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 60; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), map[string]int{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Apply([]Mutation{
+		{Op: OpPut, Table: "res", Key: "res-0000", Value: "rewritten"},
+		{Op: OpDelete, Table: "res", Key: "res-0001"},
+		{Op: OpPut, Table: "proj", Key: "proj-000001", Value: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Delete("res", "res-0002"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Small maxBytes forces many polls and record-boundary chunking across
+	// the rotated segment files.
+	catchUp(t, leader, follower, 256)
+	want := dumpAll(t, leader)
+	diffStates(t, want, dumpAll(t, follower))
+
+	// The follower's own WAL must be a valid standalone store: reopen it
+	// cold and recover the same state and watermark.
+	seq := follower.AppliedSeq()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	follower, err = Open(filepath.Join(dir, "follower.wal"), Options{SyncEvery: 1, SegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("reopen follower: %v", err)
+	}
+	defer follower.Close()
+	if got := follower.AppliedSeq(); got != seq {
+		t.Fatalf("recovered watermark %d, want %d", got, seq)
+	}
+	diffStates(t, want, dumpAll(t, follower))
+
+	// And it keeps replicating from where it recovered.
+	if err := leader.Put("res", "res-after-reopen", 1); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, leader, follower, 1<<20)
+	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+}
+
+func TestReplicationSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{SyncEvery: 1, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 40; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Delete("res", "res-0005"); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh follower's tail starts below the compaction cut: the leader
+	// must demand a snapshot install, not invent the compacted records.
+	if _, _, err := leader.ReplTail(0, 1<<20); !errors.Is(err, ErrSnapshotNeeded) {
+		t.Fatalf("ReplTail(0) after compaction: %v, want ErrSnapshotNeeded", err)
+	}
+
+	follower, err := Open(filepath.Join(dir, "follower.wal"), Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, leader, follower, 1<<20)
+	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+	if got := follower.Stats().SnapshotSeq; got == 0 {
+		t.Fatal("installed snapshot did not set the follower's snapshot seq")
+	}
+
+	// Deleted-key resurrection check across the snapshot: res-0005 must not
+	// come back after the follower recovers from its own files.
+	for i := 40; i < 50; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	catchUp(t, leader, follower, 1<<20)
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	follower, err = Open(filepath.Join(dir, "follower.wal"), Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatalf("reopen follower: %v", err)
+	}
+	defer follower.Close()
+	if follower.Has("res", "res-0005") {
+		t.Fatal("deleted key resurrected through snapshot install + recovery")
+	}
+	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+}
+
+func TestReplicationToMemoryFollower(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower := OpenMemory()
+	defer follower.Close()
+	for i := 0; i < 20; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	catchUp(t, leader, follower, 300)
+	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+}
+
+func TestReplTailRequiresWAL(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	if err := db.Put("t", "k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ReplTail(0, 0); errs.CategoryOf(err) != errs.CategoryValidation {
+		t.Fatalf("ReplTail on memory store: %v, want validation error", err)
+	}
+}
+
+// TestApplyReplicatedRejectsBadBatches is the follower-ingest corruption
+// suite: corrupt, truncated, gapped and malformed shipped batches must be
+// rejected whole with an io/corruption taxonomy error — never a panic,
+// never a partial apply, never a silent gap.
+func TestApplyReplicatedRejectsBadBatches(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 8; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pristine, last, err := leader.ReplTail(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(data []byte) []byte {
+		c := bytes.Clone(data)
+		c[len(c)/2] ^= 0xFF
+		return c
+	}
+	truncate := func(data []byte) []byte { return bytes.Clone(data)[:len(data)-3] }
+	gapped := func(data []byte) []byte {
+		nl := bytes.IndexByte(data, '\n')
+		return bytes.Clone(data[nl+1:]) // starts at seq 2 against a seq-0 follower
+	}
+	badOp := func([]byte) []byte {
+		line, ferr := frameRecord(Record{Seq: 1, Op: "nope", Table: "res", Key: "x"})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		return line
+	}
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"flipped byte", corrupt},
+		{"truncated tail", truncate},
+		{"sequence gap", gapped},
+		{"invalid op", badOp},
+		{"garbage", func([]byte) []byte { return []byte("not a frame\n") }},
+	}
+	for _, follower := range []*DB{mustOpenRepl(t, filepath.Join(dir, "f-wal.wal")), OpenMemory()} {
+		for _, tc := range cases {
+			if _, aerr := follower.ApplyReplicated(tc.mangle(pristine)); errs.CategoryOf(aerr) != errs.CategoryCorruption {
+				t.Fatalf("%s: ApplyReplicated = %v, want corruption taxonomy error", tc.name, aerr)
+			}
+			if got := follower.AppliedSeq(); got != 0 {
+				t.Fatalf("%s: follower advanced to seq %d on a rejected batch", tc.name, got)
+			}
+			if n := follower.Count("res"); n != 0 {
+				t.Fatalf("%s: partial apply left %d keys", tc.name, n)
+			}
+		}
+		// The rejected attempts must not have poisoned the follower: the
+		// pristine batch still applies cleanly afterwards.
+		applied, aerr := follower.ApplyReplicated(pristine)
+		if aerr != nil || applied != last {
+			t.Fatalf("pristine batch after rejections: seq %d, err %v", applied, aerr)
+		}
+		diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+		follower.Close()
+	}
+}
+
+func mustOpenRepl(t *testing.T, path string) *DB {
+	t.Helper()
+	db, err := Open(path, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInstallSnapshotValidation(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 5; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := leader.SnapshotExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt image: flip a body byte.
+	bad := bytes.Clone(img)
+	bad[len(bad)-2] ^= 0xFF
+	follower := mustOpenRepl(t, filepath.Join(dir, "f.wal"))
+	defer follower.Close()
+	if ierr := follower.InstallSnapshot(bad); errs.CategoryOf(ierr) != errs.CategoryCorruption {
+		t.Fatalf("corrupt snapshot install = %v, want corruption error", ierr)
+	}
+
+	// Valid install, then a stale re-install (same seq) must be refused —
+	// going backwards could resurrect later-deleted keys.
+	if ierr := follower.InstallSnapshot(img); ierr != nil {
+		t.Fatal(ierr)
+	}
+	if ierr := follower.InstallSnapshot(img); errs.CategoryOf(ierr) != errs.CategoryConflict {
+		t.Fatalf("stale snapshot install = %v, want conflict error", ierr)
+	}
+	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+}
+
+// TestReplicationConcurrentWriters streams the tail while writers are still
+// appending and segments rotate underneath — the capture-under-smu path.
+func TestReplicationConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower := mustOpenRepl(t, filepath.Join(dir, "follower.wal"))
+	defer follower.Close()
+
+	const writers, each = 4, 150
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := leader.Put("res", fmt.Sprintf("w%d-%04d", w, i), i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		pullOnce(t, leader, follower, 4096)
+		select {
+		case <-done:
+			catchUp(t, leader, follower, 1<<20)
+			diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+			return
+		default:
+		}
+	}
+}

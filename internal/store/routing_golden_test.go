@@ -1,0 +1,79 @@
+package store
+
+import "testing"
+
+// TestShardForGoldenPlacements pins the exact shard placements of a fixed
+// key corpus at two shard counts. Routing decides both where keys live on
+// disk (OpenSharded reopens route by the same hash) and, one layer up,
+// which cluster node owns a key — so the hash function must never drift
+// across refactors. If this test fails, the change reshuffles every
+// existing sharded store and cluster ring: revert it, do not re-pin.
+func TestShardForGoldenPlacements(t *testing.T) {
+	golden := []struct {
+		key     string
+		shard4  int
+		shard16 int
+	}{
+		{"proj-000001", 2, 6},
+		{"proj-000002", 3, 3},
+		{"proj-000017", 1, 5},
+		{"proj-000001/proj-000001-task-00001", 2, 6},
+		{"proj-000002/proj-000002-task-00042", 3, 3},
+		{"res-0000", 0, 12},
+		{"res-0041", 3, 11},
+		{"res-0000/000001", 0, 12},
+		{"res-0041/000123", 3, 11},
+		{"prov-000001", 2, 10},
+		{"tag-000007", 3, 11},
+		{"tag-000032", 3, 11},
+		{"a", 0, 12},
+		{"", 1, 5},
+		{"key/with/many/segments", 0, 12},
+		{"Ünïcode-キー", 0, 12},
+	}
+	s4, s16 := NewSharded(4), NewSharded(16)
+	for _, g := range golden {
+		if got := s4.ShardFor(g.key); got != g.shard4 {
+			t.Errorf("ShardFor(%q) with 4 shards = %d, golden %d", g.key, got, g.shard4)
+		}
+		if got := s16.ShardFor(g.key); got != g.shard16 {
+			t.Errorf("ShardFor(%q) with 16 shards = %d, golden %d", g.key, got, g.shard16)
+		}
+	}
+
+	// The raw 32-bit hash values, pinned so new shard counts (and the
+	// cluster ring, which reuses this hash for key → owner placement)
+	// cannot drift either: a placement change at any modulus is a change
+	// in one of these.
+	hashes := map[string]uint32{
+		"proj-000001": 2253394182,
+		"proj-000002": 2236616563,
+		"proj-000017": 2286802325,
+		"res-0000":    2442905308,
+		"res-0041":    2593212331,
+		"prov-000001": 2527334346,
+		"tag-000007":  966378539,
+		"tag-000032":  915898587,
+		"a":           3826002220,
+		"":            2166136261, // FNV-1a offset basis: empty first segment
+	}
+	for key, want := range hashes {
+		if got := shardIndex(key, 0xFFFFFFFF); got != want%0xFFFFFFFF {
+			t.Errorf("fnv(%q) mod 2^32-1 = %d, golden %d", key, got, want%0xFFFFFFFF)
+		}
+	}
+
+	// First-segment invariant: every key sharing a first path segment
+	// shares a shard, at any count.
+	pairs := [][2]string{
+		{"proj-000001", "proj-000001/proj-000001-task-00001"},
+		{"res-0041", "res-0041/000123"},
+	}
+	for _, p := range pairs {
+		for _, n := range []uint32{2, 3, 5, 7, 64} {
+			if shardIndex(p[0], n) != shardIndex(p[1], n) {
+				t.Errorf("keys %q and %q split across shards at n=%d", p[0], p[1], n)
+			}
+		}
+	}
+}

@@ -89,21 +89,27 @@ func loadSnapshotFile(path string) (uint64, map[string]map[string][]byte, error)
 	if err != nil {
 		return 0, nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "read snapshot")
 	}
+	return parseSnapshot(data, filepath.Base(path))
+}
+
+// parseSnapshot verifies and decodes a snapshot image (file contents or a
+// replicated SnapshotExport); name labels corruption errors.
+func parseSnapshot(data []byte, name string) (uint64, map[string]map[string][]byte, error) {
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 || !bytes.HasPrefix(data, []byte(snapMagic)) || nl != len(snapMagic)+8 {
-		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: bad header", filepath.Base(path))
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: bad header", name)
 	}
 	want, err := strconv.ParseUint(string(data[len(snapMagic):nl]), 16, 32)
 	if err != nil {
-		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: bad checksum field", filepath.Base(path))
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: bad checksum field", name)
 	}
 	body := data[nl+1:]
 	if crc32.ChecksumIEEE(body) != uint32(want) {
-		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: checksum mismatch", filepath.Base(path))
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: checksum mismatch", name)
 	}
 	var snap snapshotBody
 	if err := json.Unmarshal(body, &snap); err != nil {
-		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: %v", filepath.Base(path), err)
+		return 0, nil, errs.New(errs.ComponentStore, errs.CategoryCorruption, "snapshot %s: %v", name, err)
 	}
 	tables := make(map[string]map[string][]byte, len(snap.Tables))
 	for name, t := range snap.Tables {
@@ -114,6 +120,19 @@ func loadSnapshotFile(path string) (uint64, map[string]map[string][]byte, error)
 		tables[name] = mt
 	}
 	return snap.Seq, tables, nil
+}
+
+// encodeSnapshot renders a snapshot image (header line + checksummed JSON
+// body) in memory — the byte-identical twin of writeSnapshotFile's output,
+// used by SnapshotExport to ship state to followers.
+func encodeSnapshot(seq uint64, tables map[string]rawTable) ([]byte, error) {
+	body, err := json.Marshal(snapshotBody{Seq: seq, Tables: tables})
+	if err != nil {
+		return nil, errs.Wrap(err, errs.ComponentStore, errs.CategoryInternal, "encode snapshot")
+	}
+	out := make([]byte, 0, len(snapMagic)+9+len(body))
+	out = fmt.Appendf(out, "%s%08x\n", snapMagic, crc32.ChecksumIEEE(body))
+	return append(out, body...), nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry is

@@ -12,6 +12,10 @@ type counters struct {
 	rotations   atomic.Uint64
 	compactions atomic.Uint64
 	snapshotSeq atomic.Uint64
+	// appliedSeq is the replication watermark: the highest sequence applied
+	// to memory and (for durable stores) flushed to the WAL file. Read
+	// lock-free by DB.AppliedSeq for the cluster layer.
+	appliedSeq atomic.Uint64
 
 	// Set once during Open, before any concurrency exists.
 	recoveredRecords uint64

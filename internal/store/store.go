@@ -104,6 +104,9 @@ type DB struct {
 	fp atomic.Pointer[func(Failpoint) bool]
 
 	st counters
+
+	// repl caches WAL-tail read positions for ReplTail (see repl.go).
+	repl replState
 }
 
 // Options configures Open.
@@ -289,6 +292,7 @@ func (db *DB) recover() error {
 		}
 	}
 	w.lastApplied = db.seq // everything recovered is on disk and applied
+	db.st.appliedSeq.Store(db.seq)
 	db.st.recoveredRecords = applied
 	return nil
 }
@@ -416,6 +420,7 @@ func (db *DB) commitMemory(op Op, table, key string, value json.RawMessage, batc
 	db.seq++
 	db.applyLocked(Record{Seq: db.seq, Op: op, Table: table, Key: key, Value: value, Batch: batch})
 	db.refreshIndexLocked()
+	db.st.appliedSeq.Store(db.seq)
 	db.st.commits.Add(1)
 	return nil
 }
@@ -501,6 +506,7 @@ func (db *DB) commitSync(op Op, table, key string, value json.RawMessage, batch 
 	db.refreshIndexLocked()
 	db.mu.Unlock()
 	w.lastApplied = rec.Seq
+	db.st.appliedSeq.Store(rec.Seq)
 	db.st.commits.Add(1)
 	db.st.batches.Add(1)
 	db.st.walBytes.Add(uint64(len(enc)))

@@ -162,8 +162,11 @@ func (w *wal) openSegment(base string, idx uint64) error {
 	}
 	w.file = f
 	w.bw = bufio.NewWriterSize(f, 1<<18)
-	w.activePath, w.activeIdx = path, idx
+	w.activeIdx = idx
+	// activePath moves under smu together with activeSize so ReplTail can
+	// capture a consistent (path, size) pair without taking fmu.
 	w.smu.Lock()
+	w.activePath = path
 	w.activeSize = size
 	w.smu.Unlock()
 	if idx >= w.nextIdx {
@@ -405,6 +408,7 @@ func (db *DB) writeAndApply(writes []*pendingCommit, forceSync bool) error {
 		db.refreshIndexLocked()
 		db.mu.Unlock()
 		w.lastApplied = writes[len(writes)-1].rec.Seq // enqueue order == seq order
+		db.st.appliedSeq.Store(w.lastApplied)
 		db.st.commits.Add(uint64(len(writes)))
 		db.st.batches.Add(1)
 		db.st.walBytes.Add(uint64(total))
