@@ -5,13 +5,14 @@ package client
 // makes transient connection errors and 503s routine, so the SDK absorbs a
 // short burst of them. What retries:
 //
-//   - connection refused / reset, for any method: the request never reached
-//     a handler (refused) or the server died before accepting it (reset on
-//     write), so resending cannot double-apply
+//   - connection refused, for any method: the request never reached a
+//     handler, so resending cannot double-apply
 //   - HTTP 503, for any method: the server explicitly declared itself
 //     unavailable without doing the work
-//   - any other transport error, for GET only: a response that was lost
-//     mid-read may have had side effects, and only reads are safe to replay
+//   - any other transport error — including connection reset — for GET
+//     only: a reset can arrive after the server fully processed the request
+//     but before the response was read, and a response lost mid-read may
+//     have had side effects; only reads are safe to replay
 //
 // Context cancellation and deadline expiry never retry. Application errors
 // (4xx/5xx other than 503) never retry — not_owner in particular is handled
@@ -45,11 +46,12 @@ func (p retryPolicy) shouldRetry(method string, err error, attempt int) bool {
 	if errors.As(err, &ae) {
 		return ae.Status == http.StatusServiceUnavailable
 	}
-	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+	if errors.Is(err, syscall.ECONNREFUSED) {
 		return true
 	}
-	// Remaining cases are transport errors of unknown effect (timeouts,
-	// broken pipes mid-exchange): replay reads only.
+	// Remaining cases are transport errors of unknown effect (resets,
+	// timeouts, broken pipes mid-exchange — any of which can postdate a
+	// fully processed request): replay reads only.
 	return method == http.MethodGet
 }
 

@@ -99,7 +99,9 @@ func TestRetryPolicyMatrix(t *testing.T) {
 		{"409 never retries", http.MethodPost, &APIError{Status: 409, Code: CodeConflict}, 0, false},
 		{"421 never retries", http.MethodGet, &APIError{Status: 421, Code: CodeNotOwner}, 0, false},
 		{"refused retries writes", http.MethodPost, syscall.ECONNREFUSED, 0, true},
-		{"reset retries writes", http.MethodDelete, syscall.ECONNRESET, 0, true},
+		{"reset retries GET", http.MethodGet, syscall.ECONNRESET, 0, true},
+		{"reset never retries writes", http.MethodDelete, syscall.ECONNRESET, 0, false},
+		{"reset never retries POST", http.MethodPost, syscall.ECONNRESET, 0, false},
 		{"unknown transport retries GET", http.MethodGet, errors.New("broken pipe"), 0, true},
 		{"unknown transport never retries POST", http.MethodPost, errors.New("broken pipe"), 0, false},
 		{"canceled never retries", http.MethodGet, context.Canceled, 0, false},

@@ -572,6 +572,83 @@ func TestClusterFollowerIngestCorruption(t *testing.T) {
 	}
 }
 
+// TestClusterSmallPullBudget replays the bootstrap-wedge regression: a pull
+// budget far smaller than the leader's tail — and smaller than the
+// project-creation batch record itself. The leader must page at record
+// boundaries, ship the oversized record alone, and the puller must read the
+// whole body rather than truncating it at the budget (a truncated body is
+// rejected whole, the watermark never moves, and the identical next pull
+// wedges replication permanently).
+func TestClusterSmallPullBudget(t *testing.T) {
+	tc := startCluster(t, []string{"alpha", "beta"}, func(o *Options) {
+		o.Replicas = 1
+		o.PullBytes = 256
+	})
+	slot, project, tagger := tc.seedProject(16)
+	ownerURL := "http://" + slot
+	for i := 0; i < 5; i++ {
+		var task store.TaskRec
+		if _, err := tc.do(http.MethodPost, ownerURL+"/api/v1/projects/"+project+"/tasks",
+			map[string]string{"tagger_id": tagger}, &task); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tc.do(http.MethodPost,
+			fmt.Sprintf("%s/api/v1/projects/%s/tasks/%s/submit", ownerURL, project, task.ID),
+			map[string][]string{"tags": {"go", "tiny-budget"}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc.waitCaughtUp(slot)
+}
+
+// TestClusterRingConflictConverges pins the split-ring tiebreak: two nodes
+// concurrently minting the same ring version with different content (e.g.
+// each promoting a different slot of a dead node) must converge on one
+// deterministic winner — not each keep its own v(N+1) forever — and the
+// conflict must be visible in the status/metrics counter.
+func TestClusterRingConflictConverges(t *testing.T) {
+	tc := startCluster(t, []string{"alpha", "beta", "gamma"}, nil)
+	base := tc.nodes["alpha"].Ring()
+	mint := func(addr string) *Ring {
+		r := base.Clone()
+		r.Version++
+		for i := range r.Members {
+			if r.Members[i].Slot == "gamma" {
+				r.Members[i].Addr = addr
+			}
+		}
+		return r
+	}
+	ringA, ringB := mint("http://alpha"), mint("http://beta")
+
+	// Deliver the conflicting pushes in opposite orders to the two nodes.
+	tc.nodes["alpha"].installRing(ringA)
+	tc.nodes["beta"].installRing(ringB)
+	tc.nodes["alpha"].installRing(ringB)
+	tc.nodes["beta"].installRing(ringA)
+
+	a, b := tc.nodes["alpha"].Ring(), tc.nodes["beta"].Ring()
+	if a.Version != base.Version+1 || b.Version != base.Version+1 {
+		t.Fatalf("versions diverged: alpha v%d, beta v%d", a.Version, b.Version)
+	}
+	if ak, bk := a.contentKey(), b.contentKey(); ak != bk {
+		t.Fatalf("nodes hold diverging rings at the same version:\nalpha %q\nbeta  %q", ak, bk)
+	}
+	// Re-delivering the losing ring stays a no-op on both.
+	loser := ringA
+	if a.contentKey() == ringA.contentKey() {
+		loser = ringB
+	}
+	if tc.nodes["alpha"].installRing(loser) || tc.nodes["beta"].installRing(loser) {
+		t.Fatal("losing ring was re-installed after convergence")
+	}
+	for _, s := range []string{"alpha", "beta"} {
+		if got := tc.nodes[s].Status().RingConflicts; got == 0 {
+			t.Errorf("node %s observed a ring conflict but counts none", s)
+		}
+	}
+}
+
 // TestClusterCompactionSnapshotShip pins the snapshot path end to end: a
 // follower that joins (or falls behind) after the leader compacted its WAL
 // must be bootstrapped with a snapshot cut, not an impossible tail replay.

@@ -73,6 +73,8 @@ func (n *Node) Families() []api.Family {
 			[]api.Sample{{Value: float64(n.notOwner.Load())}}),
 		counter("itag_cluster_follower_reads_total", "Opt-in reads served from replica stores.",
 			[]api.Sample{{Value: float64(n.followerReads.Load())}}),
+		counter("itag_cluster_ring_conflicts_total", "Same-version ring pushes with diverging content (concurrent promotions resolved by tiebreak).",
+			[]api.Sample{{Value: float64(n.ringConflicts.Load())}}),
 	}
 	if len(repApplied) > 0 {
 		fams = append(fams,

@@ -157,6 +157,7 @@ type Node struct {
 
 	notOwner      atomic.Uint64
 	followerReads atomic.Uint64
+	ringConflicts atomic.Uint64
 
 	handler http.Handler
 	wg      sync.WaitGroup
@@ -457,13 +458,33 @@ func (n *Node) handleRingPost(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, http.StatusOK, map[string]any{"installed": installed, "version": v})
 }
 
-// installRing swaps in a strictly newer ring and reconciles the follower
-// set. It reports whether the ring was installed.
+// installRing swaps in a newer ring and reconciles the follower set. It
+// reports whether the ring was installed. A pushed ring with the current
+// version but different content means two nodes minted the same version
+// concurrently (e.g. each promoted a different slot); such a split is
+// counted, logged, and resolved by a deterministic tiebreak — every node
+// keeps the ring with the lexicographically greater content key, so the
+// cluster converges on one ring instead of each promoter holding its own
+// v(N+1) forever. The losing promotion's address change is discarded and
+// must be re-issued (it mints v(N+2), which then wins everywhere);
+// itag_cluster_ring_conflicts_total makes the situation visible.
 func (n *Node) installRing(ring *Ring) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed || ring.Version <= n.ring.Version {
+	if n.closed || ring.Version < n.ring.Version {
 		return false
+	}
+	if ring.Version == n.ring.Version {
+		theirs, ours := ring.contentKey(), n.ring.contentKey()
+		if theirs == ours {
+			return false // same ring, nothing to do
+		}
+		n.ringConflicts.Add(1)
+		n.logger.Printf("cluster %s: ring v%d conflict: installed %q vs pushed %q (greater content wins)",
+			n.slot, ring.Version, ours, theirs)
+		if theirs <= ours {
+			return false
+		}
 	}
 	n.ring = ring
 	n.logger.Printf("cluster %s: installed ring v%d", n.slot, ring.Version)
@@ -487,6 +508,7 @@ type statusResp struct {
 	Slots         []slotStatus `json:"slots"`
 	NotOwner      uint64       `json:"not_owner_total"`
 	FollowerReads uint64       `json:"follower_reads_total"`
+	RingConflicts uint64       `json:"ring_conflicts_total,omitempty"`
 }
 
 // handleStatus reports the node's replication posture; the drill and the
@@ -505,6 +527,7 @@ func (n *Node) Status() statusResp {
 		RingVersion:   n.ring.Version,
 		NotOwner:      n.notOwner.Load(),
 		FollowerReads: n.followerReads.Load(),
+		RingConflicts: n.ringConflicts.Load(),
 	}
 	for slot, b := range n.leaders {
 		resp.Slots = append(resp.Slots, slotStatus{Slot: slot, Role: "leader", AppliedSeq: b.db.AppliedSeq()})
@@ -644,10 +667,12 @@ func (n *Node) Promote(ctx context.Context, slot string) error {
 	// never had.
 	path := filepath.Join(n.opts.Dir, "replica-"+slot+".wal")
 	if err := rep.db.Close(); err != nil {
+		n.refollow(slot)
 		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "promote %s: flush replica", slot)
 	}
 	db, err := store.Open(path, n.opts.Store)
 	if err != nil {
+		n.refollow(slot)
 		return errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "promote %s: reopen replica", slot)
 	}
 	svc := core.NewService(store.NewCatalog(db), n.opts.Seed)
@@ -656,6 +681,12 @@ func (n *Node) Promote(ctx context.Context, slot string) error {
 	b := &backend{slot: slot, db: db, svc: svc, srv: srv}
 
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		svc.Close()
+		_ = db.Close()
+		return errs.New(errs.ComponentStore, errs.CategoryValidation, "node is closed")
+	}
 	n.leaders[slot] = b
 	ring := n.ring.Clone()
 	ring.Version++
@@ -676,6 +707,22 @@ func (n *Node) Promote(ctx context.Context, slot string) error {
 	}
 	n.pushRing(ctx, ring)
 	return nil
+}
+
+// refollow re-registers slot as a followed replica after a failed
+// promotion step: Promote has already detached the puller, so without this
+// the slot would be neither led nor followed by this node — replication
+// silently degraded until restart. syncFollowersLocked reopens the replica
+// store and restarts the puller (best effort: a disk that just failed the
+// promotion may fail the reopen too, which is logged there).
+func (n *Node) refollow(slot string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.logger.Printf("cluster %s: promote %s failed; resuming follow", n.slot, slot)
+	n.syncFollowersLocked()
 }
 
 // pushRing best-effort-propagates a new ring to every other member; nodes
@@ -723,7 +770,12 @@ func (n *Node) syncFollowersLocked() {
 	for slot, rep := range n.replicas {
 		if !desired[slot] {
 			delete(n.replicas, slot)
+			// Tracked by n.wg so Close()'s wait covers in-flight teardowns:
+			// "Close stops the pullers and closes every store" must hold even
+			// for replicas a ring change retired moments earlier.
+			n.wg.Add(1)
 			go func(rep *replica) {
+				defer n.wg.Done()
 				rep.cancel()
 				<-rep.done
 				rep.svc.Close()

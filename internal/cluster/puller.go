@@ -21,9 +21,14 @@ import (
 // the next poll retries from the unchanged watermark, so there is never a
 // silent gap.
 
-// maxSnapshotBytes bounds a snapshot response; snapshots carry whole-store
-// state and are not subject to the frame budget.
-const maxSnapshotBytes = 1 << 30
+// maxBodyBytes bounds any replication response body. Snapshots carry
+// whole-store state, and frames responses — though budgeted by PullBytes on
+// the leader — may legitimately exceed that budget when a single record
+// alone does (ReplTail always ships at least one record). Capping the frames
+// read near PullBytes would truncate such a body mid-frame; ApplyReplicated
+// would reject the batch, the watermark would not advance, and the next pull
+// would issue the identical doomed request — replication wedged for good.
+const maxBodyBytes = 1 << 30
 
 // pullLoop drives one followed slot until ctx ends. Rounds that made
 // progress loop immediately (catch-up); idle or failing rounds wait out
@@ -81,7 +86,7 @@ func (n *Node) pullOnce(ctx context.Context, rep *replica) (bool, error) {
 
 	switch format := resp.Header.Get(HeaderFormat); format {
 	case FormatSnapshot:
-		data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 		if err != nil {
 			return false, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "read snapshot body")
 		}
@@ -92,7 +97,7 @@ func (n *Node) pullOnce(ctx context.Context, rep *replica) (bool, error) {
 		rep.pullBytes.Add(uint64(len(data)))
 		return true, nil
 	case FormatFrames:
-		data, err := io.ReadAll(io.LimitReader(resp.Body, int64(n.opts.PullBytes)+1))
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 		if err != nil {
 			return false, errs.Wrap(err, errs.ComponentStore, errs.CategoryIO, "read frames body")
 		}

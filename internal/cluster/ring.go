@@ -216,6 +216,25 @@ func (r *Ring) Followers(slot string, n int) []string {
 	return out
 }
 
+// contentKey returns a canonical serialization of the ring's routing
+// content — vnode count plus slot→addr assignments sorted by slot,
+// independent of member order and version. Rings with equal keys route
+// identically; installRing uses the key to detect and deterministically
+// resolve same-version rings with diverging content.
+func (r *Ring) contentKey() string {
+	ms := append([]Member(nil), r.Members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Slot < ms[j].Slot })
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(r.VNodes))
+	for _, m := range ms {
+		b.WriteByte('|')
+		b.WriteString(m.Slot)
+		b.WriteByte('=')
+		b.WriteString(m.Addr)
+	}
+	return b.String()
+}
+
 // Clone returns a deep copy safe to mutate (Promote bumps the version and
 // swaps an address on a clone, then installs it).
 func (r *Ring) Clone() *Ring {

@@ -117,9 +117,13 @@ func (db *DB) AppliedSeq() uint64 { return db.st.appliedSeq.Load() }
 
 // ReplTail returns the WAL tail after sequence from as concatenated
 // CRC-framed lines, plus the last sequence included. It ships at least one
-// record when one is available and stops at a record boundary once maxBytes
-// (default 1 MiB when <= 0) is exceeded. An empty result means the follower
-// is caught up. ErrSnapshotNeeded means compaction has swallowed the
+// record when one is available and stops at a record boundary at or below
+// maxBytes (default 1 MiB when <= 0) — a response exceeds the budget only
+// when its first record alone does. Followers size their read buffers by
+// the budget plus that single-record allowance; an overshooting
+// multi-record response would be read truncated mid-frame and rejected,
+// wedging replication on the identical retry. An empty result means the
+// follower is caught up. ErrSnapshotNeeded means compaction has swallowed the
 // requested tail and the follower must InstallSnapshot first.
 func (db *DB) ReplTail(from uint64, maxBytes int) ([]byte, uint64, error) {
 	if db.wal == nil {
@@ -270,6 +274,16 @@ func (db *DB) readTailFile(f replFile, out *[]byte, next *uint64, from uint64, m
 		}
 		if seq != *next {
 			return false, errs.New(errs.ComponentStore, errs.CategoryCorruption, "wal tail %s: have seq %d, want %d", f.path, seq, *next)
+		}
+		if len(*out) > 0 && len(*out)+len(framedLine) > maxBytes {
+			// Shipping this record would overshoot the budget the follower
+			// sized its read by; stop at the boundary and let the next poll
+			// resume here. Only the batch's first record may exceed maxBytes
+			// (one record must always ship, however large).
+			if f.framed {
+				db.repl.setCursor(*next-1, replCursor{path: f.path, off: off - int64(len(line))})
+			}
+			return true, nil
 		}
 		*out = append(*out, framedLine...)
 		*next = seq + 1

@@ -146,6 +146,69 @@ func TestReplicationRoundTrip(t *testing.T) {
 	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
 }
 
+// TestReplTailBudgetBoundary pins the budget contract the cluster puller
+// sizes its reads on: a frames response stops at a record boundary at or
+// below maxBytes, and only ever exceeds the budget when its single first
+// record does. A multi-record overshoot would be read truncated mid-frame
+// by the follower, rejected by ApplyReplicated, and retried identically —
+// replication wedged until an unrelated compaction forced a snapshot.
+func TestReplTailBudgetBoundary(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	const budget = 512
+	for i := 0; i < 30; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One record far larger than the whole budget, surrounded by small ones.
+	if err := leader.Put("res", "big", bytes.Repeat([]byte("x"), 4*budget)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 60; i++ {
+		if err := leader.Put("res", fmt.Sprintf("res-%04d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	follower := mustOpenRepl(t, filepath.Join(dir, "follower.wal"))
+	defer follower.Close()
+	sawOversized := false
+	for rounds := 0; ; rounds++ {
+		if rounds > 1000 {
+			t.Fatal("replication did not converge")
+		}
+		data, last, err := leader.ReplTail(follower.AppliedSeq(), budget)
+		if err != nil {
+			t.Fatalf("ReplTail: %v", err)
+		}
+		if len(data) == 0 {
+			break
+		}
+		if len(data) > budget {
+			sawOversized = true
+			if n := bytes.Count(data, []byte("\n")); n != 1 {
+				t.Fatalf("over-budget response carries %d records (%d bytes > %d)", n, len(data), budget)
+			}
+		}
+		applied, err := follower.ApplyReplicated(data)
+		if err != nil {
+			t.Fatalf("ApplyReplicated: %v", err)
+		}
+		if applied != last {
+			t.Fatalf("applied to seq %d, tail said %d", applied, last)
+		}
+	}
+	if !sawOversized {
+		t.Fatal("the oversized record never forced an over-budget single-record response")
+	}
+	diffStates(t, dumpAll(t, leader), dumpAll(t, follower))
+}
+
 func TestReplicationSnapshotFallback(t *testing.T) {
 	dir := t.TempDir()
 	leader, err := Open(filepath.Join(dir, "leader.wal"), Options{SyncEvery: 1, SegmentBytes: 256})
