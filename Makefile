@@ -3,7 +3,7 @@ GO ?= go
 # Fuzz budget per target; CI smoke uses the default, nightly passes 10m.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-cluster bench-gate clean
+.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-cluster bench-capacity bench-gate clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 # tests (quality + rfd + vocab interner), and the HTTP layer (lock-free
 # metrics scrapes vs request writers).
 race:
-	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/... ./internal/api/... ./internal/server/... ./internal/cluster/...
+	$(GO) test -race ./internal/store/... ./internal/core/... ./internal/quality/... ./internal/rfd/... ./internal/vocab/... ./internal/api/... ./internal/server/... ./internal/cluster/... ./internal/capacity/... ./client/...
 
 # Everything under the race detector (nightly).
 race-full:
@@ -82,6 +82,13 @@ bench-serving:
 # to BENCH_cluster.json; fails if the 2x gate or the drill is missed.
 bench-cluster:
 	$(GO) run ./cmd/itag-bench -experiment s8 -record
+
+# Open-loop admission-control capacity at 2x the knee plus the
+# kill-the-load autoscaling drill (S9), recorded to BENCH_capacity.json;
+# fails if the limited path misses its SLO/goodput gates or the unlimited
+# path fails to demonstrate overload collapse.
+bench-capacity:
+	$(GO) run ./cmd/itag-bench -experiment s9 -record
 
 # Re-check recorded BENCH_*.json artifacts against their committed gates.
 bench-gate:

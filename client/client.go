@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -40,6 +41,11 @@ type APIError struct {
 	// OwnerHint is the owning node's address from X-Itag-Owner, set on
 	// CodeNotOwner responses from a cluster node.
 	OwnerHint string `json:"-"`
+	// RetryAfter is the server's Retry-After header (both the
+	// delta-seconds and HTTP-date forms), zero when absent. The retry
+	// loop uses it as a floor under its own backoff; callers handling
+	// errors manually should do the same before resending.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -56,6 +62,7 @@ const (
 	CodeProjectRunning  = "project_running"
 	CodeInvalidRole     = "invalid_role"
 	CodeExhausted       = "exhausted"
+	CodeRateLimited     = "resource_exhausted"
 	CodeIOFailure       = "io_failure"
 	CodeCorruption      = "corruption"
 	CodeBatchTooLarge   = "batch_too_large"
@@ -118,7 +125,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err == nil || !c.retry.shouldRetry(method, err, attempt) {
 			return err
 		}
-		if werr := c.retry.wait(ctx, attempt); werr != nil {
+		var floor time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			floor = ae.RetryAfter // server-advertised delay wins over local backoff
+		}
+		if werr := c.retry.wait(ctx, attempt, floor); werr != nil {
 			return err // context ended while backing off: report the last failure
 		}
 	}
@@ -160,19 +172,22 @@ func decodeAPIError(resp *http.Response) error {
 	var env struct {
 		Error *APIError `json:"error"`
 	}
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil {
 		env.Error.Status = resp.StatusCode
 		if env.Error.RequestID == "" {
 			env.Error.RequestID = resp.Header.Get("X-Request-Id")
 		}
 		env.Error.OwnerHint = resp.Header.Get("X-Itag-Owner")
+		env.Error.RetryAfter = retryAfter
 		return env.Error
 	}
 	return &APIError{
-		Status:    resp.StatusCode,
-		Code:      CodeInternal,
-		Message:   strings.TrimSpace(string(raw)),
-		RequestID: resp.Header.Get("X-Request-Id"),
+		Status:     resp.StatusCode,
+		Code:       CodeInternal,
+		Message:    strings.TrimSpace(string(raw)),
+		RequestID:  resp.Header.Get("X-Request-Id"),
+		RetryAfter: retryAfter,
 	}
 }
 

@@ -173,8 +173,10 @@ func TestClusterClientRoutesAndFollowsPromotion(t *testing.T) {
 	}
 
 	// Promote a follower; the SDK still holds the old ring, hits the old
-	// owner's slot led elsewhere, and must recover on its own.
-	tr.Register(slot, nil)
+	// owner's slot led elsewhere, and must recover on its own. Wait for
+	// the survivor's replica to absorb the leader's full WAL first —
+	// promoting mid-pull would legitimately lose the unreplicated tail,
+	// which is not the behavior under test here.
 	var surv string
 	for s := range nodes {
 		if s != slot {
@@ -182,6 +184,19 @@ func TestClusterClientRoutesAndFollowsPromotion(t *testing.T) {
 			break
 		}
 	}
+	leaderSeq := nodes[slot].DB(slot).AppliedSeq()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		rdb := nodes[surv].ReplicaDB(slot)
+		if rdb != nil && rdb.AppliedSeq() >= leaderSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor replica never caught up to leader seq %d", leaderSeq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tr.Register(slot, nil)
 	if err := nodes[surv].Promote(ctx, slot); err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ func TestCodeVocabularyMatchesServer(t *testing.T) {
 		CodeProjectRunning:  true,
 		CodeInvalidRole:     true,
 		CodeExhausted:       true,
+		CodeRateLimited:     true,
 		CodeIOFailure:       true,
 		CodeCorruption:      true,
 		CodeBatchTooLarge:   true,

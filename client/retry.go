@@ -9,21 +9,28 @@ package client
 //     handler, so resending cannot double-apply
 //   - HTTP 503, for any method: the server explicitly declared itself
 //     unavailable without doing the work
+//   - HTTP 429, for any method: admission control sheds the request
+//     before any handler runs, so resending cannot double-apply either
 //   - any other transport error — including connection reset — for GET
 //     only: a reset can arrive after the server fully processed the request
 //     but before the response was read, and a response lost mid-read may
 //     have had side effects; only reads are safe to replay
 //
+// When the server advertises Retry-After (on 429 and 503), that delay is a
+// floor under the computed backoff: the SDK never resends earlier than the
+// server asked, however small the local backoff curve is.
+//
 // Context cancellation and deadline expiry never retry. Application errors
-// (4xx/5xx other than 503) never retry — not_owner in particular is handled
-// one level up by the ring-aware ClusterClient, which re-routes instead of
-// re-sending.
+// (4xx/5xx other than 429/503) never retry — not_owner in particular is
+// handled one level up by the ring-aware ClusterClient, which re-routes
+// instead of re-sending.
 
 import (
 	"context"
 	"errors"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"syscall"
 	"time"
 )
@@ -35,6 +42,12 @@ type retryPolicy struct {
 
 var defaultRetry = retryPolicy{attempts: 3, base: 50 * time.Millisecond}
 
+// maxBackoff caps the exponential curve. base<<attempt overflows int64
+// around attempt 37 for the default base — and a negative duration fires
+// the retry timer immediately, turning backoff into a tight hammer loop —
+// so any attempt past the cap clamps here instead.
+const maxBackoff = 30 * time.Second
+
 func (p retryPolicy) shouldRetry(method string, err error, attempt int) bool {
 	if attempt >= p.attempts-1 {
 		return false
@@ -44,7 +57,8 @@ func (p retryPolicy) shouldRetry(method string, err error, attempt int) bool {
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Status == http.StatusServiceUnavailable
+		return ae.Status == http.StatusServiceUnavailable ||
+			ae.Status == http.StatusTooManyRequests
 	}
 	if errors.Is(err, syscall.ECONNREFUSED) {
 		return true
@@ -55,14 +69,33 @@ func (p retryPolicy) shouldRetry(method string, err error, attempt int) bool {
 	return method == http.MethodGet
 }
 
-// wait sleeps for the attempt's jittered backoff: base·2^attempt scaled by
-// a uniform factor in [0.5, 1.5), so synchronized clients spread out.
-func (p retryPolicy) wait(ctx context.Context, attempt int) error {
-	d := p.base << attempt
-	if d <= 0 {
-		d = defaultRetry.base << attempt
+// backoff computes the un-jittered delay for an attempt, clamped to
+// [base, maxBackoff] so the shift can never overflow negative.
+func (p retryPolicy) backoff(attempt int) time.Duration {
+	base := p.base
+	if base <= 0 {
+		base = defaultRetry.base
 	}
-	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	// base<<attempt ≤ maxBackoff ⟺ base ≤ maxBackoff>>attempt; testing in
+	// the shrinking direction cannot overflow (Go defines >>64 as 0).
+	if attempt >= 63 || base > maxBackoff>>attempt {
+		return maxBackoff
+	}
+	return base << attempt
+}
+
+// wait sleeps for the attempt's jittered backoff: base·2^attempt scaled by
+// a uniform factor in [0.5, 1.5) so synchronized clients spread out, capped
+// at maxBackoff, and never below floor (the server's Retry-After, zero when
+// it sent none).
+func (p retryPolicy) wait(ctx context.Context, attempt int, floor time.Duration) error {
+	d := time.Duration(float64(p.backoff(attempt)) * (0.5 + rand.Float64()))
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	if d < floor {
+		d = floor
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -71,4 +104,25 @@ func (p retryPolicy) wait(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// parseRetryAfter reads a Retry-After header value: either delta-seconds
+// ("2") or an HTTP-date (RFC 9110 §10.2.3). Returns zero when the header
+// is absent, malformed, or names a moment already in the past.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

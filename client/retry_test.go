@@ -96,6 +96,8 @@ func TestRetryPolicyMatrix(t *testing.T) {
 		want    bool
 	}{
 		{"503 retries writes", http.MethodPost, &APIError{Status: 503, Code: CodeExhausted}, 0, true},
+		{"429 retries writes", http.MethodPost, &APIError{Status: 429, Code: CodeRateLimited}, 0, true},
+		{"429 retries deletes", http.MethodDelete, &APIError{Status: 429, Code: CodeRateLimited}, 0, true},
 		{"409 never retries", http.MethodPost, &APIError{Status: 409, Code: CodeConflict}, 0, false},
 		{"421 never retries", http.MethodGet, &APIError{Status: 421, Code: CodeNotOwner}, 0, false},
 		{"refused retries writes", http.MethodPost, syscall.ECONNREFUSED, 0, true},
@@ -122,7 +124,7 @@ func TestRetryWaitHonorsContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	if err := p.wait(ctx, 0); err == nil {
+	if err := p.wait(ctx, 0, 0); err == nil {
 		t.Fatal("wait on canceled context returned nil")
 	}
 	if time.Since(start) > time.Second {

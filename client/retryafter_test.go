@@ -1,0 +1,175 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfterForms pins the two header grammars plus the
+// defensive edges.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta seconds", "7", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.h, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.h, got, tc.want)
+		}
+	}
+}
+
+// retryAfterServer responds 429 with the given Retry-After value until
+// the failure budget is spent, then succeeds.
+func retryAfterServer(t *testing.T, failures int32, header string) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			if header != "" {
+				w.Header().Set("Retry-After", header)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":{"code":"resource_exhausted","message":"saturated"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestRetryAfterSecondsHonored: the regression the ISSUE names — the SDK
+// used to compute backoff purely client-side and ignore the server's
+// Retry-After. A 1ms-base client against a "Retry-After: 1" 429 must not
+// resend before ~1s, and the write must still succeed on the retry.
+func TestRetryAfterSecondsHonored(t *testing.T) {
+	srv, calls := retryAfterServer(t, 1, "1")
+	c := New(srv.URL, nil).WithRetry(2, time.Millisecond)
+	start := time.Now()
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.do(context.Background(), http.MethodPost, "/api/v1/projects", map[string]string{"name": "x"}, &out); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("resent after %v, want ≥ ~1s (Retry-After floor ignored)", elapsed)
+	}
+	if !out.OK || calls.Load() != 2 {
+		t.Errorf("ok=%v calls=%d, want success on attempt 2", out.OK, calls.Load())
+	}
+}
+
+// TestRetryAfterDateHonored: same contract for the HTTP-date form.
+func TestRetryAfterDateHonored(t *testing.T) {
+	date := time.Now().Add(1200 * time.Millisecond).UTC().Format(http.TimeFormat)
+	srv, calls := retryAfterServer(t, 1, date)
+	c := New(srv.URL, nil).WithRetry(2, time.Millisecond)
+	start := time.Now()
+	if err := c.do(context.Background(), http.MethodPost, "/api/v1/projects", map[string]string{"name": "x"}, nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	// HTTP-date carries whole-second resolution, so the floor may round
+	// down by up to a second from the 1.2s target.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("resent after %v, want the HTTP-date floor respected", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestRetryAfterAbsentFallsBack: no header means the local backoff curve
+// applies unchanged — a 1ms-base retry completes promptly.
+func TestRetryAfterAbsentFallsBack(t *testing.T) {
+	srv, calls := retryAfterServer(t, 2, "")
+	c := New(srv.URL, nil).WithRetry(3, time.Millisecond)
+	start := time.Now()
+	if err := c.do(context.Background(), http.MethodPost, "/api/v1/projects", map[string]string{"name": "x"}, nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("no-header retry took %v, want fast local backoff", elapsed)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestAPIErrorCarriesRetryAfter: callers doing their own error handling
+// see the parsed delay on the error value itself.
+func TestAPIErrorCarriesRetryAfter(t *testing.T) {
+	srv, _ := retryAfterServer(t, 1000, "7")
+	c := New(srv.URL, nil).WithRetry(1, time.Millisecond) // no retries: surface the 429
+	err := c.do(context.Background(), http.MethodPost, "/api/v1/projects", map[string]string{"name": "x"}, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if ae.Status != http.StatusTooManyRequests || ae.Code != CodeRateLimited {
+		t.Errorf("status/code = %d/%s, want 429/%s", ae.Status, ae.Code, CodeRateLimited)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+}
+
+// TestBackoffNeverNegative pins the overflow regression: base<<attempt
+// used to go negative at high attempt counts, and the "fallback" clamp
+// re-did the same overflowing shift with the default base. Every attempt
+// must yield a positive delay no larger than the cap.
+func TestBackoffNeverNegative(t *testing.T) {
+	policies := []retryPolicy{
+		{attempts: 1 << 20, base: 50 * time.Millisecond},
+		{attempts: 1 << 20, base: 0},                // falls back to the default base
+		{attempts: 1 << 20, base: -time.Second},     // nonsense base: still clamped
+		{attempts: 1 << 20, base: 40 * time.Second}, // base already past the cap
+	}
+	for _, p := range policies {
+		for _, attempt := range []int{0, 1, 10, 36, 37, 38, 62, 63, 64, 100, 1 << 19} {
+			d := p.backoff(attempt)
+			if d <= 0 {
+				t.Fatalf("base %v attempt %d: backoff = %v (overflow regression)", p.base, attempt, d)
+			}
+			if d > maxBackoff {
+				t.Errorf("base %v attempt %d: backoff %v exceeds cap %v", p.base, attempt, d, maxBackoff)
+			}
+		}
+	}
+}
+
+// TestWaitClampedAtHighAttempt: the full wait path (jitter included) at
+// an attempt that used to overflow must sleep a real, positive duration —
+// the canceled context proves it parked on a timer instead of returning
+// immediately through a negative delay.
+func TestWaitClampedAtHighAttempt(t *testing.T) {
+	p := retryPolicy{attempts: 1 << 20, base: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.wait(ctx, 64, 0)
+	if err == nil {
+		t.Fatal("wait at attempt 64 returned before the context: negative-delay regression")
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("wait returned after %v, want to park until the 50ms context deadline", elapsed)
+	}
+}

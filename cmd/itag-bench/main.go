@@ -9,12 +9,12 @@
 //	itag-bench -experiment s3,s4,s5,s6 -small -record   # CI bench smoke
 //	itag-bench -verify-gates BENCH_store.json BENCH_quality.json
 //
-// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s7 (systems:
+// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s9 (systems:
 // store contention across shards, project-fleet pool, group-commit WAL
 // durability, interned quality hot path, ordered snapshot serving read
-// path), all. See the experiment index in docs/ARCHITECTURE.md.
+// path, open-loop admission-control capacity), all. See the experiment index in docs/ARCHITECTURE.md.
 //
-// Gated experiments (s3, s5, s6, s7, s8) embed their acceptance ratios in the
+// Gated experiments (s3, s5, s6, s7, s8, s9) embed their acceptance ratios in the
 // result; -record writes each gated result to its canonical BENCH_*.json
 // artifact, and any failing gate makes the run exit non-zero.
 // -verify-gates re-checks previously recorded artifacts without rerunning
@@ -50,9 +50,10 @@ var experiments = map[string]func(bench.Sizes) (bench.Result, error){
 	"s6": bench.S6QualityHotPath,
 	"s7": bench.S7ServingReadPath,
 	"s8": bench.S8Cluster,
+	"s9": bench.S9Capacity,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6", "s7", "s8"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6", "s7", "s8", "s9"}
 
 // recordFiles maps gated experiments to their canonical committed artifact.
 var recordFiles = map[string]string{
@@ -61,10 +62,11 @@ var recordFiles = map[string]string{
 	"s6": "BENCH_quality.json",
 	"s7": "BENCH_serving.json",
 	"s8": "BENCH_cluster.json",
+	"s9": "BENCH_capacity.json",
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s7, all)")
+	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s9, all)")
 	n := flag.Int("n", 0, "number of resources (0 = default)")
 	budget := flag.Int("budget", 0, "task budget (0 = default)")
 	taggers := flag.Int("taggers", 0, "tagger pool size (0 = default)")

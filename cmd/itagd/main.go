@@ -9,6 +9,17 @@
 //	      [-sync-every 1] [-group-commit 0] [-segment-bytes 4194304]
 //	      [-auto-compact 67108864] [-debug-addr ""]
 //	      [-write-timeout 60s] [-route-timeout 30s] [-grace 30s]
+//	      [-admission] [-slo-p99 500ms] [-pool-min 0] [-pool-max 0]
+//
+// With -admission the task routes (request/submit/batch) sit behind
+// queueing-model admission control: the server fits latency-vs-concurrency
+// online from its own histograms, admits up to the concurrency knee where
+// predicted p99 meets -slo-p99, and sheds the excess with
+// 429 resource_exhausted plus a Retry-After hint (health, metrics and SSE
+// are never shed). With -pool-max N background simulation runs execute on
+// a shared autoscaling step pool of -pool-min..-pool-max workers that
+// scales with demand — all the way to zero goroutines when idle and
+// -pool-min is 0 — instead of one dedicated goroutine per run.
 //
 // With -db "" the store is in-memory (state lost on exit). With -shards N
 // (N > 1) the store is hash-partitioned across N locks; -db then names a
@@ -100,6 +111,10 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
 	routeTimeout := fs.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
+	admission := fs.Bool("admission", false, "enable queueing-model admission control on the task routes (shed past the saturation knee with 429 + Retry-After)")
+	sloP99 := fs.Duration("slo-p99", 500*time.Millisecond, "p99 latency target the admission knee and autoscaling pool are solved against")
+	poolMin := fs.Int("pool-min", 0, "autoscaling step-pool worker floor (0 = scale to zero when idle)")
+	poolMax := fs.Int("pool-max", 0, "autoscaling step-pool worker ceiling (0 keeps one goroutine per run)")
 	clusterSlot := fs.String("cluster-slot", "", "ring slot this node leads; non-empty enables cluster mode")
 	clusterRing := fs.String("cluster-ring", "", `ring members as "slot=addr,slot=addr,..." (required with -cluster-slot)`)
 	clusterReplicas := fs.Int("cluster-replicas", 2, "followers replicating each slot's WAL")
@@ -178,14 +193,26 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 		}
 		defer db.Close()
 
-		svc = core.NewService(store.NewCatalog(db), *seed)
+		svc = core.NewServiceWith(store.NewCatalog(db), *seed, core.ServiceOptions{
+			PoolMin: *poolMin, PoolMax: *poolMax,
+		})
 		defer svc.Close()
 		var reqLog *log.Logger
 		if !*quiet {
 			reqLog = logger
 		}
-		srv := server.NewWith(svc, server.Options{Logger: reqLog, RouteTimeout: *routeTimeout})
+		srvOpts := server.Options{Logger: reqLog, RouteTimeout: *routeTimeout}
+		if *admission {
+			srvOpts.Admission = &server.AdmissionOptions{SLO: *sloP99}
+		}
+		srv := server.NewWith(svc, srvOpts)
 		apiHandler, promHandler = srv, srv.PromHandler()
+		if *admission {
+			logger.Printf("admission control: p99 SLO %s on the task routes", *sloP99)
+		}
+		if *poolMax > 0 {
+			logger.Printf("autoscaling step pool: %d..%d workers", *poolMin, *poolMax)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -23,20 +23,21 @@ import (
 // most of these constants are now aliases of errs category defaults; the
 // rest are transport-level conditions the handler kit raises itself.
 const (
-	CodeInvalidRequest  = "invalid_request"  // malformed body / unknown fields
-	CodeInvalidArgument = "invalid_argument" // validation or state error (errs.CategoryValidation)
-	CodeNotFound        = "not_found"        // errs.CategoryNotFound
-	CodeConflict        = "conflict"         // errs.CategoryConflict
-	CodeProjectRunning  = "project_running"  // core.ErrProjectRunning (conflict refinement)
-	CodeInvalidRole     = "invalid_role"     // wrong-role user (validation refinement)
-	CodeExhausted       = "exhausted"        // errs.CategoryExhausted: budget / post source ran out
-	CodeIOFailure       = "io_failure"       // errs.CategoryIO: store disk failure
-	CodeCorruption      = "corruption"       // errs.CategoryCorruption: integrity check failed
-	CodeBatchTooLarge   = "batch_too_large"  // batch exceeds the per-call cap
-	CodeNotOwner        = "not_owner"        // key is owned by another cluster node (X-Itag-Owner names it)
-	CodeTimeout         = "timeout"          // per-route deadline exceeded
-	CodeCanceled        = "canceled"         // client disconnected mid-request
-	CodeInternal        = "internal"         // panic or unexpected failure
+	CodeInvalidRequest  = "invalid_request"    // malformed body / unknown fields
+	CodeInvalidArgument = "invalid_argument"   // validation or state error (errs.CategoryValidation)
+	CodeNotFound        = "not_found"          // errs.CategoryNotFound
+	CodeConflict        = "conflict"           // errs.CategoryConflict
+	CodeProjectRunning  = "project_running"    // core.ErrProjectRunning (conflict refinement)
+	CodeInvalidRole     = "invalid_role"       // wrong-role user (validation refinement)
+	CodeExhausted       = "exhausted"          // errs.CategoryExhausted: budget / post source ran out
+	CodeRateLimited     = "resource_exhausted" // errs.CategoryRateLimited: load shed by admission control; honor Retry-After
+	CodeIOFailure       = "io_failure"         // errs.CategoryIO: store disk failure
+	CodeCorruption      = "corruption"         // errs.CategoryCorruption: integrity check failed
+	CodeBatchTooLarge   = "batch_too_large"    // batch exceeds the per-call cap
+	CodeNotOwner        = "not_owner"          // key is owned by another cluster node (X-Itag-Owner names it)
+	CodeTimeout         = "timeout"            // per-route deadline exceeded
+	CodeCanceled        = "canceled"           // client disconnected mid-request
+	CodeInternal        = "internal"           // panic or unexpected failure
 )
 
 // CodeSpec is one row of the error-code contract: the envelope code, the
@@ -64,6 +65,7 @@ func CodeTable() []CodeSpec {
 		{CodeConflict, http.StatusConflict, errs.CategoryConflict, "valid request, conflicting current state (e.g. post already judged)"},
 		{CodeProjectRunning, http.StatusConflict, errs.CategoryConflict, "operation requires a stopped run"},
 		{CodeExhausted, http.StatusConflict, errs.CategoryExhausted, "a budget or post source ran out"},
+		{CodeRateLimited, http.StatusTooManyRequests, errs.CategoryRateLimited, "load shed by admission control; retry after the Retry-After delay"},
 		{CodeNotOwner, http.StatusMisdirectedRequest, errs.CategoryConflict, "another cluster node owns this key; X-Itag-Owner names its address"},
 		{CodeIOFailure, http.StatusInternalServerError, errs.CategoryIO, "store disk or filesystem failure"},
 		{CodeCorruption, http.StatusInternalServerError, errs.CategoryCorruption, "stored data failed an integrity check"},

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestArrivalOffsetsDeterministic: the same seed must replay the exact
+// arrival schedule (the limited and unlimited phases compare fairly only
+// because their load is reproducible), and a different seed must not.
+func TestArrivalOffsetsDeterministic(t *testing.T) {
+	a := arrivalOffsets(42, 500, time.Second)
+	b := arrivalOffsets(42, 500, time.Second)
+	if len(a) != len(b) {
+		t.Fatalf("same seed: %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := arrivalOffsets(43, 500, time.Second)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestArrivalOffsetsDistribution: offsets are ascending within the
+// horizon, the count matches rate x horizon, and the inter-arrivals look
+// exponential — mean 1/rate and coefficient of variation ~1 (a constant-
+// gap generator would have CV 0 and not model bursty tagger traffic).
+func TestArrivalOffsetsDistribution(t *testing.T) {
+	const rate = 1000.0
+	horizon := 10 * time.Second
+	offs := arrivalOffsets(2014, rate, horizon)
+
+	n := float64(len(offs))
+	if want := rate * horizon.Seconds(); math.Abs(n-want) > 0.05*want {
+		t.Errorf("count = %.0f, want %.0f +/- 5%%", n, want)
+	}
+	prev := time.Duration(0)
+	var gaps []float64
+	var sum float64
+	for i, off := range offs {
+		if off < prev {
+			t.Fatalf("offsets not ascending at %d: %v after %v", i, off, prev)
+		}
+		if off >= horizon {
+			t.Fatalf("offset %v outside horizon %v", off, horizon)
+		}
+		g := (off - prev).Seconds()
+		gaps = append(gaps, g)
+		sum += g
+		prev = off
+	}
+	mean := sum / n
+	if want := 1 / rate; math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean inter-arrival = %.6fs, want %.6fs +/- 5%%", mean, want)
+	}
+	var sq float64
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(sq/n) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("inter-arrival CV = %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+// TestS9FrontShedsWhenSaturated: the bench's middleware mirrors the
+// server's shed-before-Track order — a request past the ceiling returns
+// 429 without touching the route histogram.
+func TestS9FrontShedsWhenSaturated(t *testing.T) {
+	f := newS9Front(1, time.Millisecond, 100*time.Millisecond, true)
+	f.gov.Limiter().SetLimit(1)
+	release, ok := f.gov.Limiter().TryAcquire()
+	if !ok {
+		t.Fatal("could not hold the only slot")
+	}
+	defer release()
+	if code := f.serveOnce(); code != 429 {
+		t.Fatalf("saturated request returned %d, want 429", code)
+	}
+	if buckets, ok := f.metrics.RouteBuckets(s9Route); ok {
+		for _, c := range buckets {
+			if c != 0 {
+				t.Fatal("shed request polluted the route histogram")
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package capacity
+
+import (
+	"math"
+	"sync"
+)
+
+// Estimator fits the Server{Alpha,Beta} model online from
+// (concurrency, latency) samples using exponentially weighted linear
+// regression: it maintains EWMA means, variance and covariance of the
+// two series and recovers the slope as cov/var. Old traffic decays away,
+// so the model tracks the server as cache state, dataset size or
+// hardware contention drift.
+//
+// One Estimator serves one key — a route label on the serving path, a
+// project ID when callers want per-project service times. Keyed fan-out
+// lives in the Governor.
+type Estimator struct {
+	mu    sync.Mutex
+	decay float64 // weight of each new sample, in (0, 1]
+
+	seen  int     // raw sample count (gates model readiness)
+	meanC float64 // EWMA of concurrency
+	meanL float64 // EWMA of latency (seconds)
+	varC  float64 // EW variance of concurrency
+	covCL float64 // EW covariance of (concurrency, latency)
+}
+
+// estimatorMinSamples is how many samples an Estimator needs before it
+// reports a model: below this the covariance is mostly noise.
+const estimatorMinSamples = 5
+
+// NewEstimator builds an estimator. decay is the weight of each new
+// sample (0 < decay ≤ 1); out-of-range values fall back to 0.2, i.e. a
+// memory of roughly the last 5 samples.
+func NewEstimator(decay float64) *Estimator {
+	if decay <= 0 || decay > 1 {
+		decay = 0.2
+	}
+	return &Estimator{decay: decay}
+}
+
+// Observe feeds one sample: the server held roughly `concurrency`
+// requests in flight while per-request latency was `latency` seconds.
+// Non-finite or negative inputs are dropped; concurrency below 1 is
+// clamped (the sample exists, so at least one request was running).
+func (e *Estimator) Observe(concurrency, latency float64) {
+	if math.IsNaN(concurrency) || math.IsInf(concurrency, 0) ||
+		math.IsNaN(latency) || math.IsInf(latency, 0) || latency < 0 {
+		return
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.decay
+	if e.seen == 0 {
+		e.meanC, e.meanL = concurrency, latency
+		e.seen = 1
+		return
+	}
+	dC := concurrency - e.meanC
+	dL := latency - e.meanL
+	e.meanC += a * dC
+	e.meanL += a * dL
+	// Standard EW second-moment updates (West 1979 adapted to EWMA):
+	// shrink the old moment, add the cross-term of the new deviation.
+	e.varC = (1 - a) * (e.varC + a*dC*dC)
+	e.covCL = (1 - a) * (e.covCL + a*dC*dL)
+	e.seen++
+}
+
+// Samples reports the number of samples absorbed.
+func (e *Estimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seen
+}
+
+// Model returns the fitted model. ok is false until enough samples have
+// arrived. When the concurrency series has no spread (variance ≈ 0) the
+// slope is unidentifiable; Beta is reported as 0 — "no saturation
+// evidence" — and Alpha as the latency mean, which keeps the knee
+// unbounded rather than inventing a slope from noise.
+func (e *Estimator) Model() (Model, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.seen < estimatorMinSamples {
+		return Model{}, false
+	}
+	const epsVar = 1e-9
+	if e.varC < epsVar {
+		return Model{Alpha: e.meanL}, true
+	}
+	beta := e.covCL / e.varC
+	if beta < 0 {
+		// Latency falling as concurrency rises is warm-up noise, not a
+		// queueing effect; a negative slope would predict infinite
+		// capacity. Treat as no evidence.
+		beta = 0
+	}
+	alpha := e.meanL - beta*(e.meanC-1)
+	if alpha < 0 {
+		alpha = 0
+	}
+	return Model{Alpha: alpha, Beta: beta}, true
+}

@@ -1,0 +1,124 @@
+package capacity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestModelKnee pins the closed-form knee against hand-computed points.
+func TestModelKnee(t *testing.T) {
+	m := Model{Alpha: 0.010, Beta: 0.002} // 10ms base, +2ms per extra request
+	// SLO 30ms: 1 + (0.030-0.010)/0.002 = 11.
+	if k := m.Knee(0.030); math.Abs(k-11) > 1e-9 {
+		t.Errorf("knee = %v, want 11", k)
+	}
+	// SLO below the base latency: even one request misses, knee clamps to 1.
+	if k := m.Knee(0.005); k != 1 {
+		t.Errorf("knee below alpha = %v, want 1", k)
+	}
+	// No saturation evidence: unbounded.
+	if k := (Model{Alpha: 0.010}).Knee(0.030); !math.IsInf(k, 1) {
+		t.Errorf("zero-beta knee = %v, want +Inf", k)
+	}
+	// Latency prediction clamps concurrency below 1.
+	if got := m.Latency(0); got != m.Alpha {
+		t.Errorf("Latency(0) = %v, want alpha %v", got, m.Alpha)
+	}
+}
+
+// TestEstimatorRecoversLinearModel feeds samples from a known linear
+// latency law (plus noise) and checks the fitted Alpha/Beta land close
+// enough that the derived knee is within ~15% of truth.
+func TestEstimatorRecoversLinearModel(t *testing.T) {
+	const alpha, beta = 0.020, 0.005 // 20ms base, +5ms per extra request
+	rng := rand.New(rand.NewSource(2014))
+	e := NewEstimator(0.05) // long memory: this test wants the asymptote
+
+	if _, ok := e.Model(); ok {
+		t.Fatal("model reported ok before any samples")
+	}
+	for i := 0; i < 4000; i++ {
+		c := float64(1 + rng.Intn(32))
+		lat := alpha + beta*(c-1)
+		lat *= 1 + 0.05*(rng.Float64()-0.5) // ±2.5% noise
+		e.Observe(c, lat)
+	}
+	m, ok := e.Model()
+	if !ok {
+		t.Fatal("model not ready after 4000 samples")
+	}
+	if math.Abs(m.Alpha-alpha)/alpha > 0.15 {
+		t.Errorf("alpha = %v, want within 15%% of %v", m.Alpha, alpha)
+	}
+	if math.Abs(m.Beta-beta)/beta > 0.15 {
+		t.Errorf("beta = %v, want within 15%% of %v", m.Beta, beta)
+	}
+	const slo = 0.100 // 100ms → true knee = 1 + 0.08/0.005 = 17
+	trueKnee := 1 + (slo-alpha)/beta
+	if k := m.Knee(slo); math.Abs(k-trueKnee)/trueKnee > 0.15 {
+		t.Errorf("knee = %v, want within 15%% of %v", k, trueKnee)
+	}
+}
+
+// TestEstimatorNoSpread: constant concurrency gives the slope nothing to
+// bite on; the estimator must report zero Beta (unbounded knee), not a
+// slope invented from noise.
+func TestEstimatorNoSpread(t *testing.T) {
+	e := NewEstimator(0.2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		e.Observe(4, 0.010*(1+0.2*rng.Float64()))
+	}
+	m, ok := e.Model()
+	if !ok {
+		t.Fatal("model not ready")
+	}
+	if m.Beta != 0 {
+		t.Errorf("beta = %v on zero-variance concurrency, want 0", m.Beta)
+	}
+	if m.Alpha <= 0 {
+		t.Errorf("alpha = %v, want the latency mean", m.Alpha)
+	}
+}
+
+// TestEstimatorRejectsGarbage: NaN/Inf/negative samples must not poison
+// the moments.
+func TestEstimatorRejectsGarbage(t *testing.T) {
+	e := NewEstimator(0.2)
+	for i := 0; i < 20; i++ {
+		e.Observe(float64(1+i%8), 0.010+0.002*float64(i%8))
+	}
+	before, _ := e.Model()
+	e.Observe(math.NaN(), 0.5)
+	e.Observe(4, math.Inf(1))
+	e.Observe(math.Inf(-1), -1)
+	e.Observe(4, -0.5)
+	after, ok := e.Model()
+	if !ok || after != before {
+		t.Errorf("garbage samples moved the model: %+v → %+v", before, after)
+	}
+}
+
+// TestEstimatorTracksDrift: after the workload shifts to a steeper
+// latency law, the EWMA must forget the old regime.
+func TestEstimatorTracksDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEstimator(0.1)
+	feed := func(alpha, beta float64, n int) {
+		for i := 0; i < n; i++ {
+			c := float64(1 + rng.Intn(16))
+			e.Observe(c, alpha+beta*(c-1))
+		}
+	}
+	feed(0.010, 0.001, 500) // shallow regime
+	shallow, _ := e.Model()
+	feed(0.010, 0.010, 500) // 10× steeper regime
+	steep, ok := e.Model()
+	if !ok {
+		t.Fatal("model not ready")
+	}
+	if steep.Beta < 5*shallow.Beta {
+		t.Errorf("beta after drift = %v, want ≫ shallow %v", steep.Beta, shallow.Beta)
+	}
+}

@@ -1,0 +1,289 @@
+package capacity
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSource is a scriptable RouteSource over a fine 1ms bucket grid:
+// set(route, count, q, inflight) files the observations that arrived
+// since the previous set (count is cumulative) into the bucket whose
+// upper bound is exactly q, so the governor's window quantile reads the
+// scripted value back verbatim.
+type fakeSource struct {
+	mu       sync.Mutex
+	buckets  map[string][]uint64
+	last     map[string]uint64
+	sums     map[string]time.Duration
+	inflight int64
+}
+
+// fakeGrid is the number of finite 1ms buckets (covers up to 10s).
+const fakeGrid = 10000
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{buckets: map[string][]uint64{}, last: map[string]uint64{}, sums: map[string]time.Duration{}}
+}
+
+func (f *fakeSource) set(route string, count uint64, q time.Duration, inflight int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.buckets[route]
+	if b == nil {
+		b = make([]uint64, fakeGrid+1)
+		f.buckets[route] = b
+	}
+	if count > f.last[route] {
+		idx := int((q+time.Millisecond-1)/time.Millisecond) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > fakeGrid {
+			idx = fakeGrid
+		}
+		delta := count - f.last[route]
+		b[idx] += delta
+		f.sums[route] += time.Duration(delta) * q
+		f.last[route] = count
+	}
+	f.inflight = inflight
+}
+
+func (f *fakeSource) BucketBounds() []time.Duration {
+	bounds := make([]time.Duration, fakeGrid)
+	for i := range bounds {
+		bounds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return bounds
+}
+
+func (f *fakeSource) RouteBuckets(route string) ([]uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.buckets[route]
+	if !ok {
+		return nil, false
+	}
+	out := make([]uint64, len(b))
+	copy(out, b)
+	return out, true
+}
+
+func (f *fakeSource) RouteObservations(route string) (uint64, time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.last[route]
+	return c, f.sums[route], ok
+}
+
+func (f *fakeSource) InFlight() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inflight
+}
+
+func newTestGovernor(src RouteSource) *Governor {
+	return NewGovernor(GovernorConfig{
+		Routes:         []string{"POST /t"},
+		SLO:            100 * time.Millisecond,
+		MaxConcurrency: 64,
+	}, src, NewLimiter(1))
+}
+
+// TestWindowQuantile pins the delta-histogram quantile: winning bucket's
+// upper bound, +Inf clamped to the last finite bound, empty window → !ok.
+func TestWindowQuantile(t *testing.T) {
+	bounds := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	counts := []uint64{90, 8, 1, 1} // 100 obs, one in +Inf
+	if q, ok := windowQuantile(bounds, counts, 0.5); !ok || q != 10*time.Millisecond {
+		t.Errorf("p50 = %v/%v, want 10ms", q, ok)
+	}
+	if q, ok := windowQuantile(bounds, counts, 0.98); !ok || q != 20*time.Millisecond {
+		t.Errorf("p98 = %v/%v, want 20ms", q, ok)
+	}
+	if q, ok := windowQuantile(bounds, counts, 1); !ok || q != 30*time.Millisecond {
+		t.Errorf("p100 = %v/%v, want +Inf clamped to 30ms", q, ok)
+	}
+	if _, ok := windowQuantile(bounds, []uint64{0, 0, 0, 0}, 0.99); ok {
+		t.Error("empty window must report !ok")
+	}
+}
+
+// TestDiffBuckets pins snapshot differencing: missing prev counts from
+// zero, shrinking counters clamp rather than wrap.
+func TestDiffBuckets(t *testing.T) {
+	w, n := diffBuckets([]uint64{5, 3, 2}, nil)
+	if n != 10 || w[0] != 5 {
+		t.Errorf("nil prev: window %v total %d, want full counts", w, n)
+	}
+	w, n = diffBuckets([]uint64{7, 3, 2}, []uint64{5, 3, 2})
+	if n != 2 || w[0] != 2 || w[1] != 0 {
+		t.Errorf("delta: window %v total %d, want [2 0 0]/2", w, n)
+	}
+	if _, n = diffBuckets([]uint64{1, 0, 0}, []uint64{5, 0, 0}); n != 0 {
+		t.Errorf("shrinking counter: total %d, want clamp to 0", n)
+	}
+}
+
+// TestGovernorRecoversAfterOverloadTransient is the sticky-overload
+// regression the windowed quantile fixes: a heavy transient crushes the
+// ceiling; once the windows turn healthy the gate must reopen even
+// though the all-time p99 would stay pinned at the bad tail forever.
+func TestGovernorRecoversAfterOverloadTransient(t *testing.T) {
+	src := newFakeSource()
+	g := newTestGovernor(src)
+	// Transient: 5000 observations at 20× SLO.
+	src.set("POST /t", 5000, 2*time.Second, 60)
+	g.Refresh()
+	low := g.Limiter().Limit()
+	if low >= 10 {
+		t.Fatalf("limit after 20× overload = %d, want crushed", low)
+	}
+	// Recovery: trickles of healthy traffic. The cumulative histogram is
+	// still >98% overload samples, so an all-time p99 would keep the
+	// gate shut; the windowed fit must reopen it.
+	count := uint64(5000)
+	for i := 0; i < 40; i++ {
+		count += 5
+		src.set("POST /t", count, 10*time.Millisecond, int64(g.Limiter().Limit()))
+		g.Refresh()
+	}
+	if got := g.Limiter().Limit(); got < 4*low {
+		t.Errorf("limit = %d after 40 healthy windows, want ≥ 4× the crushed value %d", got, low)
+	}
+}
+
+// TestGovernorStartsOpen: before any evidence the limiter sits at
+// MaxConcurrency — admission control must fail open.
+func TestGovernorStartsOpen(t *testing.T) {
+	g := newTestGovernor(newFakeSource())
+	if got := g.Limiter().Limit(); got != 64 {
+		t.Errorf("initial limit = %d, want MaxConcurrency 64", got)
+	}
+	if ra := g.Limiter().RetryAfter(); ra < time.Second {
+		t.Errorf("retry-after hint = %v, want ≥ 1s", ra)
+	}
+}
+
+// TestGovernorShrinksOnSLOViolation: observed p99 over the SLO must pull
+// the ceiling down multiplicatively, without waiting for the regression.
+func TestGovernorShrinksOnSLOViolation(t *testing.T) {
+	src := newFakeSource()
+	g := newTestGovernor(src)
+	// p99 = 4× SLO at 40 in flight → ceiling should drop to ≈ 40/4 = 10.
+	src.set("POST /t", 100, 400*time.Millisecond, 40)
+	g.Refresh()
+	if got := g.Limiter().Limit(); got < 2 || got > 12 {
+		t.Errorf("limit after 4× violation at c=40: %d, want ≈10", got)
+	}
+}
+
+// TestGovernorGrowthBounded: healthy latencies reopen the gate but by at
+// most 25% per refresh.
+func TestGovernorGrowthBounded(t *testing.T) {
+	src := newFakeSource()
+	g := newTestGovernor(src)
+	src.set("POST /t", 100, 400*time.Millisecond, 40)
+	g.Refresh()
+	low := g.Limiter().Limit()
+
+	// Recovery: consistently fast p99s, new traffic each refresh. The
+	// model may still dip the ceiling while the violation sample decays
+	// out of the EWMA — what must NEVER happen is a jump of more than
+	// 25% per refresh, and the gate must eventually reopen.
+	prev := low
+	for i := 0; i < 40; i++ {
+		src.set("POST /t", uint64(200+i), 10*time.Millisecond, int64(prev))
+		g.Refresh()
+		cur := g.Limiter().Limit()
+		// 25% growth, rounded down, +1 grace for the floor at small limits.
+		if maxGrow := prev + prev/4 + 1; cur > maxGrow {
+			t.Fatalf("refresh %d: limit jumped %d → %d, growth bound is %d", i, prev, cur, maxGrow)
+		}
+		prev = cur
+	}
+	if prev < 2*low {
+		t.Errorf("limit = %d after 40 healthy refreshes, want ≥ 2× the shrunken value %d", prev, low)
+	}
+}
+
+// TestGovernorNoNewTraffic: refreshes without fresh observations must
+// not move the ceiling (idle periods would otherwise slowly crank the
+// gate open on stale data).
+func TestGovernorNoNewTraffic(t *testing.T) {
+	src := newFakeSource()
+	g := newTestGovernor(src)
+	src.set("POST /t", 100, 400*time.Millisecond, 40)
+	g.Refresh()
+	want := g.Limiter().Limit()
+	for i := 0; i < 5; i++ {
+		g.Refresh() // same counts: no new samples
+	}
+	if got := g.Limiter().Limit(); got != want {
+		t.Errorf("limit drifted %d → %d with no new traffic", want, got)
+	}
+}
+
+// TestGovernorMaybeThrottles: Maybe only refits once per MinInterval and
+// is safe to race.
+func TestGovernorMaybeThrottles(t *testing.T) {
+	src := newFakeSource()
+	g := NewGovernor(GovernorConfig{
+		Routes:      []string{"POST /t"},
+		SLO:         100 * time.Millisecond,
+		MinInterval: time.Hour, // only the first Maybe may refit
+	}, src, NewLimiter(1))
+	src.set("POST /t", 100, 500*time.Millisecond, 40)
+
+	now := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); g.Maybe(now) }()
+	}
+	wg.Wait()
+	first := g.Limiter().Limit()
+
+	// Worse evidence, but inside the interval: must be ignored.
+	src.set("POST /t", 200, 5*time.Second, 40)
+	g.Maybe(now.Add(time.Minute))
+	if got := g.Limiter().Limit(); got != first {
+		t.Errorf("limit moved %d → %d inside MinInterval", first, got)
+	}
+	// Past the interval it refits.
+	g.Maybe(now.Add(2 * time.Hour))
+	if got := g.Limiter().Limit(); got >= first {
+		t.Errorf("limit = %d after 50× SLO evidence, want < %d", got, first)
+	}
+}
+
+// TestGovernorModelDriven: with spread in the (concurrency, latency)
+// samples the knee must come from the fitted model, not just AIMD — a
+// sub-SLO workload with a real slope caps below MaxConcurrency.
+func TestGovernorModelDriven(t *testing.T) {
+	src := newFakeSource()
+	g := NewGovernor(GovernorConfig{
+		Routes:         []string{"POST /t"},
+		SLO:            100 * time.Millisecond,
+		MaxConcurrency: 1024,
+		Decay:          0.3,
+	}, src, NewLimiter(1))
+	// Latency law: 10ms + 3ms·(c−1); true knee = 1 + 90/3 = 31.
+	count := uint64(0)
+	for pass := 0; pass < 60; pass++ {
+		c := int64(1 + pass%16)
+		lat := 10*time.Millisecond + 3*time.Millisecond*time.Duration(c-1)
+		count += 10
+		src.set("POST /t", count, lat, c)
+		g.Refresh()
+	}
+	got := g.Limiter().Limit()
+	if got < 15 || got > 60 {
+		t.Errorf("model-driven limit = %d, want in [15, 60] around true knee 31", got)
+	}
+	models := g.Models()
+	if m, ok := models["POST /t"]; !ok || m.Beta <= 0 {
+		t.Errorf("fitted model = %+v (ok=%v), want positive beta", m, ok)
+	}
+}

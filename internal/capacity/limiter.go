@@ -1,0 +1,91 @@
+package capacity
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is the saturation gate in front of the expensive routes: it
+// admits requests while in-flight concurrency is below the current knee
+// and sheds the rest. Admission is a single CAS loop — no locks, no
+// channels — so the cost on the hot path is a few atomic operations.
+//
+// The limit is dynamic: the Governor refits the queueing model and calls
+// SetLimit as the estimate moves. Shed callers are told how long to back
+// off via RetryAfter, which the serving layer forwards as the HTTP
+// Retry-After header.
+type Limiter struct {
+	limit      atomic.Int64 // current knee (admission ceiling), ≥ 1
+	inflight   atomic.Int64
+	admitted   atomic.Uint64
+	shed       atomic.Uint64
+	retryAfter atomic.Int64 // nanoseconds to advertise to shed callers
+}
+
+// NewLimiter builds a limiter with an initial admission ceiling.
+// Ceilings below 1 are clamped to 1: a limiter that admits nothing can
+// never observe the server recovering.
+func NewLimiter(limit int) *Limiter {
+	l := &Limiter{}
+	l.SetLimit(limit)
+	l.SetRetryAfter(time.Second)
+	return l
+}
+
+// TryAcquire attempts to admit one request. On admission it returns a
+// release func (call exactly once when the request finishes) and true.
+// On shed it returns (nil, false) and the shed counter advances.
+func (l *Limiter) TryAcquire() (release func(), ok bool) {
+	for {
+		cur := l.inflight.Load()
+		if cur >= l.limit.Load() {
+			l.shed.Add(1)
+			return nil, false
+		}
+		if l.inflight.CompareAndSwap(cur, cur+1) {
+			l.admitted.Add(1)
+			var done atomic.Bool
+			return func() {
+				if done.CompareAndSwap(false, true) {
+					l.inflight.Add(-1)
+				}
+			}, true
+		}
+	}
+}
+
+// SetLimit moves the admission ceiling; values below 1 clamp to 1.
+// In-flight requests above a lowered ceiling are not evicted — the
+// ceiling only gates new admissions, so it drains naturally.
+func (l *Limiter) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.limit.Store(int64(n))
+}
+
+// Limit reports the current admission ceiling.
+func (l *Limiter) Limit() int { return int(l.limit.Load()) }
+
+// Inflight reports the number of currently admitted requests.
+func (l *Limiter) Inflight() int { return int(l.inflight.Load()) }
+
+// Admitted reports the cumulative number of admitted requests.
+func (l *Limiter) Admitted() uint64 { return l.admitted.Load() }
+
+// Shed reports the cumulative number of shed requests.
+func (l *Limiter) Shed() uint64 { return l.shed.Load() }
+
+// SetRetryAfter sets the backoff hint advertised to shed callers.
+// Non-positive values clamp to 1s.
+func (l *Limiter) SetRetryAfter(d time.Duration) {
+	if d <= 0 {
+		d = time.Second
+	}
+	l.retryAfter.Store(int64(d))
+}
+
+// RetryAfter reports the backoff hint for shed callers.
+func (l *Limiter) RetryAfter() time.Duration {
+	return time.Duration(l.retryAfter.Load())
+}

@@ -1,0 +1,157 @@
+package capacity
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterProperty hammers the limiter from many goroutines while the
+// ceiling moves, and checks the two invariants the serving path depends
+// on: admitted in-flight concurrency never exceeds the largest ceiling
+// ever set, and every offered request is either admitted or shed —
+// admitted + shed = offered, nothing lost, nothing double-counted.
+func TestLimiterProperty(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+		maxLimit   = 24
+	)
+	l := NewLimiter(maxLimit)
+
+	var (
+		offered  atomic.Uint64
+		admitted atomic.Uint64
+		shed     atomic.Uint64
+		peak     atomic.Int64 // max concurrent holders ever observed
+		holders  atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				if i%100 == 0 {
+					// Move the ceiling around mid-flight (the governor
+					// does this concurrently with admissions).
+					l.SetLimit(1 + rng.Intn(maxLimit))
+				}
+				offered.Add(1)
+				release, ok := l.TryAcquire()
+				if !ok {
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				cur := holders.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				if i%7 == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				holders.Add(-1)
+				release()
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	if got := admitted.Load() + shed.Load(); got != offered.Load() {
+		t.Errorf("admitted %d + shed %d = %d, want offered %d",
+			admitted.Load(), shed.Load(), got, offered.Load())
+	}
+	if l.Admitted() != admitted.Load() || l.Shed() != shed.Load() {
+		t.Errorf("limiter counters (%d adm, %d shed) disagree with ground truth (%d, %d)",
+			l.Admitted(), l.Shed(), admitted.Load(), shed.Load())
+	}
+	if p := peak.Load(); p > maxLimit {
+		t.Errorf("peak concurrency %d exceeded the largest ceiling %d", p, maxLimit)
+	}
+	if l.Inflight() != 0 {
+		t.Errorf("inflight = %d after all releases", l.Inflight())
+	}
+}
+
+// TestLimiterCeilingRespected pins the strict form of the invariant with
+// a fixed ceiling: concurrency never exceeds the knee estimate.
+func TestLimiterCeilingRespected(t *testing.T) {
+	const limit = 4
+	l := NewLimiter(limit)
+	var holders, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				release, ok := l.TryAcquire()
+				if !ok {
+					continue
+				}
+				cur := holders.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				holders.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeds fixed ceiling %d", p, limit)
+	}
+}
+
+// TestLimiterReleaseIdempotent: calling release twice must not free two
+// slots (a double-release would silently raise effective capacity).
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(2)
+	r1, ok1 := l.TryAcquire()
+	r2, ok2 := l.TryAcquire()
+	if !ok1 || !ok2 {
+		t.Fatal("setup: both acquires should admit")
+	}
+	r1()
+	r1() // second call must be a no-op
+	if got := l.Inflight(); got != 1 {
+		t.Errorf("inflight after double release = %d, want 1", got)
+	}
+	r2()
+	if got := l.Inflight(); got != 0 {
+		t.Errorf("inflight = %d, want 0", got)
+	}
+}
+
+// TestLimiterClampsAndHints covers the defensive edges: ceilings below 1
+// clamp (a zero-admission limiter can never recover), and Retry-After
+// hints never go below 1s.
+func TestLimiterClampsAndHints(t *testing.T) {
+	l := NewLimiter(0)
+	if l.Limit() != 1 {
+		t.Errorf("limit = %d, want clamp to 1", l.Limit())
+	}
+	l.SetLimit(-5)
+	if l.Limit() != 1 {
+		t.Errorf("limit = %d after SetLimit(-5), want 1", l.Limit())
+	}
+	l.SetRetryAfter(0)
+	if l.RetryAfter() != time.Second {
+		t.Errorf("retryAfter = %v, want 1s floor", l.RetryAfter())
+	}
+	l.SetRetryAfter(3 * time.Second)
+	if l.RetryAfter() != 3*time.Second {
+		t.Errorf("retryAfter = %v, want 3s", l.RetryAfter())
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"itag/internal/capacity"
 )
 
 // This file implements the worker-pool task-assignment pipeline: instead of
@@ -25,8 +28,18 @@ import (
 //     and Catalogs, which are themselves concurrency-safe;
 //   - a step failure retires only that engine; the rest keep running.
 type Pool struct {
-	// Workers is the number of concurrent step workers (default 8).
+	// Workers is the number of concurrent step workers (default 8) in
+	// fixed mode.
 	Workers int
+
+	// Max > 0 switches RunContext to adaptive mode: instead of Workers
+	// fixed goroutines, steps run on an autoscaling capacity.Pool that
+	// grows from Min toward Max as engines queue up, and reaps workers
+	// (all the way to Min, which may be zero) after Idle without work.
+	Min, Max int
+	// Idle is the adaptive-mode worker idle timeout (capacity.Pool's
+	// default when zero).
+	Idle time.Duration
 }
 
 // DefaultPoolWorkers is the Pool.Run worker count when unset.
@@ -43,6 +56,9 @@ func (p Pool) Run(engines []*Engine) []error {
 // completion (engines observe the context inside StepContext too, so a
 // cancellation interrupts even a long platform wait).
 func (p Pool) RunContext(ctx context.Context, engines []*Engine) []error {
+	if p.Max > 0 {
+		return p.runAdaptive(ctx, engines)
+	}
 	n := len(engines)
 	errs := make([]error, n)
 	if n == 0 {
@@ -90,6 +106,57 @@ func (p Pool) RunContext(ctx context.Context, engines []*Engine) []error {
 	}
 	wg.Wait()
 	return errs
+}
+
+// runAdaptive drives the engines on an autoscaling worker set. Each
+// engine step is one pool task that resubmits itself until the engine
+// retires — the same at-most-one-owner invariant as the fixed queue,
+// expressed as self-requeueing tasks. The queue is sized so every engine
+// can hold one slot, which keeps resubmission non-blocking.
+func (p Pool) runAdaptive(ctx context.Context, engines []*Engine) []error {
+	n := len(engines)
+	errList := make([]error, n)
+	if n == 0 {
+		return errList
+	}
+	ap := capacity.NewPool(capacity.PoolConfig{
+		Min: p.Min, Max: p.Max, Idle: p.Idle, Queue: n + 1,
+	})
+	defer ap.Close()
+
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	allDone := make(chan struct{})
+	var step func(i int) func(context.Context)
+	step = func(i int) func(context.Context) {
+		return func(context.Context) {
+			done, err := engines[i].StepContext(ctx)
+			if err != nil {
+				errList[i] = err
+				done = true
+			}
+			if !done {
+				serr := ap.Submit(step(i))
+				if serr == nil {
+					return
+				}
+				errList[i] = serr // pool closed under us: retire the engine
+			}
+			if remaining.Add(-1) == 0 {
+				close(allDone)
+			}
+		}
+	}
+	for i := range engines {
+		if err := ap.Submit(step(i)); err != nil {
+			errList[i] = err
+			if remaining.Add(-1) == 0 {
+				close(allDone)
+			}
+		}
+	}
+	<-allDone
+	return errList
 }
 
 // RunEngines is the convenience form of Pool.Run.

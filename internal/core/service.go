@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"itag/internal/capacity"
 	"itag/internal/crowd"
 	"itag/internal/dataset"
 	"itag/internal/errs"
@@ -44,6 +45,12 @@ type Service struct {
 	// filter rejects. The cluster layer installs one so a node only mints
 	// project/user IDs whose hash routes back to itself.
 	idFilter func(prefix, id string) bool
+
+	// pool, when non-nil, runs background simulation steps on a shared
+	// autoscaling worker set instead of one goroutine per run. Installed
+	// by NewServiceWith; nil keeps the historical dedicated-goroutine
+	// behaviour.
+	pool *capacity.Pool
 
 	lifeCtx    context.Context
 	cancelLife context.CancelFunc
@@ -87,9 +94,55 @@ func NewService(cat *store.Catalog, seed int64) *Service {
 	}
 }
 
+// ServiceOptions tunes optional Service behaviour beyond NewService's
+// defaults.
+type ServiceOptions struct {
+	// PoolMax > 0 enables the shared autoscaling step pool: background
+	// runs started by StartSimulation execute as interleaved engine
+	// steps on PoolMin..PoolMax workers that scale with demand (and all
+	// the way to zero goroutines when PoolMin is 0 and no project is
+	// running) instead of one dedicated goroutine per run.
+	PoolMin, PoolMax int
+	// PoolIdle is how long a surplus worker idles before exiting
+	// (capacity.Pool's default when zero).
+	PoolIdle time.Duration
+}
+
+// NewServiceWith builds a Service with explicit options.
+func NewServiceWith(cat *store.Catalog, seed int64, opts ServiceOptions) *Service {
+	s := NewService(cat, seed)
+	if opts.PoolMax > 0 {
+		s.pool = capacity.NewPool(capacity.PoolConfig{
+			Min:  opts.PoolMin,
+			Max:  opts.PoolMax,
+			Idle: opts.PoolIdle,
+			// Each run holds at most one queue slot; 4096 concurrent
+			// runs is far beyond anything itagd serves, and a generous
+			// buffer keeps self-resubmission non-blocking.
+			Queue: 4096,
+		})
+	}
+	return s
+}
+
 // Close cancels the service's lifetime context, interrupting every
-// background simulation run. It does not close the underlying store.
-func (s *Service) Close() { s.cancelLife() }
+// background simulation run, and tears down the shared step pool when
+// one is configured. It does not close the underlying store.
+func (s *Service) Close() {
+	s.cancelLife()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// PoolStats snapshots the shared autoscaling pool; ok is false when the
+// service runs in dedicated-goroutine mode.
+func (s *Service) PoolStats() (capacity.PoolStats, bool) {
+	if s.pool == nil {
+		return capacity.PoolStats{}, false
+	}
+	return s.pool.Stats(), true
+}
 
 // Users exposes the User Manager.
 func (s *Service) Users() *users.Manager { return s.um }
@@ -386,14 +439,39 @@ func (s *Service) StartSimulation(ctx context.Context, projectID string) error {
 	run.running = true
 	run.doneCh = make(chan struct{})
 	run.Engine.Monitor().Restart()
-	go func() {
-		err := run.Engine.RunContext(s.lifeCtx)
+	finish := func(err error) {
 		run.mu.Lock()
 		run.runErr = err
 		run.running = false
 		close(run.doneCh)
 		run.mu.Unlock()
 		s.finishProject(projectID, err)
+	}
+	if s.pool != nil {
+		// Shared autoscaling pool: the run advances as self-resubmitting
+		// single steps, so many projects interleave on a few workers and
+		// the pool drains to zero goroutines when every run finishes.
+		var step func(context.Context)
+		step = func(context.Context) {
+			done, err := run.Engine.StepContext(s.lifeCtx)
+			if err == nil && !done {
+				if serr := s.pool.Submit(step); serr != nil {
+					finish(serr) // pool closed mid-run
+				}
+				return
+			}
+			finish(err)
+		}
+		if err := s.pool.Submit(step); err != nil {
+			run.runErr = err
+			run.running = false
+			close(run.doneCh)
+			return err
+		}
+		return nil
+	}
+	go func() {
+		finish(run.Engine.RunContext(s.lifeCtx))
 	}()
 	return nil
 }

@@ -58,13 +58,19 @@ const (
 	CategoryCanceled   Category = "canceled"   // caller went away or deadline expired
 	CategoryExhausted  Category = "exhausted"  // a budget, quota or source ran out
 	CategoryInternal   Category = "internal"   // bug: panic or unclassified failure
+	// CategoryRateLimited marks load shed by admission control: the server
+	// refused the request before doing any work, so the caller may safely
+	// retry after the advertised Retry-After delay. Distinct from
+	// CategoryExhausted (a domain budget ran out — retrying won't help).
+	CategoryRateLimited Category = "rate_limited"
 )
 
 // Categories lists every category in stable order.
 func Categories() []Category {
 	return []Category{
 		CategoryValidation, CategoryNotFound, CategoryConflict, CategoryIO,
-		CategoryCorruption, CategoryCanceled, CategoryExhausted, CategoryInternal,
+		CategoryCorruption, CategoryCanceled, CategoryExhausted, CategoryRateLimited,
+		CategoryInternal,
 	}
 }
 
@@ -82,6 +88,8 @@ func (c Category) HTTPStatus() int {
 		return http.StatusNotFound
 	case CategoryConflict, CategoryExhausted:
 		return http.StatusConflict
+	case CategoryRateLimited:
+		return http.StatusTooManyRequests
 	case CategoryCanceled:
 		return statusClientClosedRequest
 	case CategoryIO, CategoryCorruption, CategoryInternal:
@@ -111,6 +119,8 @@ func (c Category) DefaultCode() string {
 		return "canceled"
 	case CategoryExhausted:
 		return "exhausted"
+	case CategoryRateLimited:
+		return "resource_exhausted"
 	case CategoryInternal:
 		return "internal"
 	default:

@@ -92,14 +92,15 @@ func TestCategoryTable(t *testing.T) {
 	}
 	// Spot-pin the statuses the API contract documents.
 	pins := map[Category]int{
-		CategoryValidation: http.StatusBadRequest,
-		CategoryNotFound:   http.StatusNotFound,
-		CategoryConflict:   http.StatusConflict,
-		CategoryExhausted:  http.StatusConflict,
-		CategoryCanceled:   499,
-		CategoryIO:         http.StatusInternalServerError,
-		CategoryCorruption: http.StatusInternalServerError,
-		CategoryInternal:   http.StatusInternalServerError,
+		CategoryValidation:  http.StatusBadRequest,
+		CategoryNotFound:    http.StatusNotFound,
+		CategoryConflict:    http.StatusConflict,
+		CategoryExhausted:   http.StatusConflict,
+		CategoryRateLimited: http.StatusTooManyRequests,
+		CategoryCanceled:    499,
+		CategoryIO:          http.StatusInternalServerError,
+		CategoryCorruption:  http.StatusInternalServerError,
+		CategoryInternal:    http.StatusInternalServerError,
 	}
 	for cat, want := range pins {
 		if got := cat.HTTPStatus(); got != want {
@@ -122,8 +123,8 @@ func TestComponentsStable(t *testing.T) {
 	if got := fmt.Sprint(Components()); got != "[store core api quality crowd]" {
 		t.Errorf("components = %s", got)
 	}
-	if len(Categories()) != 8 {
-		t.Errorf("categories = %d, want 8", len(Categories()))
+	if len(Categories()) != 9 {
+		t.Errorf("categories = %d, want 9", len(Categories()))
 	}
 	for _, cat := range Categories() {
 		if strings.ContainsAny(string(cat), " \n\"\\") {

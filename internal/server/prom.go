@@ -18,6 +18,7 @@ func (s *Server) PromHandler() http.Handler {
 		if st := s.svc.StoreStats(); st != nil {
 			fams = append(fams, storeFamilies(st)...)
 		}
+		fams = append(fams, s.capacityFamilies()...)
 		if s.extraFams != nil {
 			fams = append(fams, s.extraFams()...)
 		}

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"itag/internal/api"
+	"itag/internal/capacity"
 	"itag/internal/core"
 	"itag/internal/dataset"
 	"itag/internal/errs"
@@ -73,6 +74,11 @@ type Options struct {
 	// replication watermarks through this hook so the pinned route and
 	// store families stay untouched.
 	ExtraFamilies func() []api.Family
+	// Admission, when non-nil, puts the task routes behind queueing-model
+	// admission control: requests past the fitted saturation knee are
+	// shed with 429 resource_exhausted and a Retry-After hint. Health,
+	// metrics and SSE routes are never gated.
+	Admission *AdmissionOptions
 }
 
 // Server is the HTTP frontend over a core.Service.
@@ -84,6 +90,7 @@ type Server struct {
 	routeTimeout time.Duration
 	sseBuffer    int
 	extraFams    func() []api.Family
+	admission    *capacity.Governor // nil when admission control is off
 	handler      http.Handler
 }
 
@@ -109,6 +116,7 @@ func NewWith(svc *core.Service, opts Options) *Server {
 		extraFams:    opts.ExtraFamilies,
 	}
 	s.kit = &api.Kit{MapError: mapErr, Metrics: s.metrics}
+	s.initAdmission(opts.Admission)
 	s.routes()
 	s.handler = api.Chain(s.mux,
 		api.RequestID,
@@ -215,9 +223,9 @@ func (s *Server) routes() {
 	s.route("POST /api/v1/projects/{id}/resources/{rid}/stop", stopRes)
 	s.route("POST /api/v1/projects/{id}/resources/{rid}/resume", resumeRes)
 
-	s.route("POST /api/v1/projects/{id}/tasks", requestTask)
-	s.route("POST /api/v1/projects/{id}/tasks:batch", api.Handle(k, http.StatusOK, s.batchTasks))
-	s.route("POST /api/v1/projects/{id}/tasks/{tid}/submit", submitTask)
+	s.routeLimited("POST /api/v1/projects/{id}/tasks", requestTask)
+	s.routeLimited("POST /api/v1/projects/{id}/tasks:batch", api.Handle(k, http.StatusOK, s.batchTasks))
+	s.routeLimited("POST /api/v1/projects/{id}/tasks/{tid}/submit", submitTask)
 	s.route("POST /api/v1/projects/{id}/posts/{rid}/{seq}/judge", judgePost)
 
 	// --- legacy aliases (pre-v1 surface; see docs/API.md appendix) --------
@@ -241,8 +249,8 @@ func (s *Server) routes() {
 	s.alias("POST /api/projects/{id}/resources/{rid}/stop", stopRes)
 	s.alias("POST /api/projects/{id}/resources/{rid}/resume", resumeRes)
 
-	s.alias("POST /api/projects/{id}/tasks", requestTask)
-	s.alias("POST /api/projects/{id}/tasks/{tid}/submit", submitTask)
+	s.aliasLimited("POST /api/projects/{id}/tasks", requestTask)
+	s.aliasLimited("POST /api/projects/{id}/tasks/{tid}/submit", submitTask)
 	s.alias("POST /api/projects/{id}/posts/{rid}/{seq}/judge", judgePost)
 }
 

@@ -8,7 +8,9 @@
 #   3. an artifact with no Gates key fails (exit 1),
 #   4. an artifact whose ratio is below its gate fails (exit 1),
 #   5. the S8 cluster artifact is part of the canonical set: a directory
-#      holding every artifact but BENCH_cluster.json fails (exit 2).
+#      holding every artifact but BENCH_cluster.json fails (exit 2),
+#   6. the S9 capacity artifact is part of the canonical set: a directory
+#      holding every artifact but BENCH_capacity.json fails (exit 2).
 #
 # Run from anywhere: scripts/test_bench_gate.sh
 set -eu
@@ -50,7 +52,7 @@ set -e
 
 # 5. The cluster artifact is required in no-argument mode.
 mkdir "$TMP/nocluster"
-for f in BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
+for f in BENCH_capacity.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
   cp "$ROOT/$f" "$TMP/nocluster/$f"
 done
 set +e
@@ -58,5 +60,16 @@ BENCH_GATE_DIR="$TMP/nocluster" "$GATE" >/dev/null 2>&1
 rc=$?
 set -e
 [ "$rc" -eq 2 ] || fail "canonical set without BENCH_cluster.json exited $rc, want 2"
+
+# 6. The capacity artifact is required in no-argument mode.
+mkdir "$TMP/nocapacity"
+for f in BENCH_cluster.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
+  cp "$ROOT/$f" "$TMP/nocapacity/$f"
+done
+set +e
+BENCH_GATE_DIR="$TMP/nocapacity" "$GATE" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "canonical set without BENCH_capacity.json exited $rc, want 2"
 
 echo "test_bench_gate.sh: ok"
