@@ -74,7 +74,10 @@ bench-quality:
 	$(GO) run ./cmd/itag-bench -experiment s6 -record
 
 # Ordered snapshot serving read path vs the seed iterate-filter-sort path
-# (S7), recorded to BENCH_serving.json; fails if the 3x gate is missed.
+# plus the zero-allocation cached-serving gates (S7): allocs/op and p99 of
+# a cached ResourceDetail hit through the full HTTP stack. Recorded to
+# BENCH_serving.json; fails if the 3x read-path gate, the <10 allocs/op
+# gate, or the 10µs p99 gate is missed.
 bench-serving:
 	$(GO) run ./cmd/itag-bench -experiment s7 -record
 

@@ -78,6 +78,7 @@ type Client struct {
 	http  *http.Client
 	hdr   http.Header // extra headers sent on every request (nil = none)
 	retry retryPolicy
+	etags *etagCache // conditional-GET validators (nil = disabled)
 }
 
 // New builds a Client for the server at base (e.g. "http://localhost:8080").
@@ -151,15 +152,45 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Conditional GET: revalidate with the cached ETag and hold on to the
+	// entry — a concurrent insert may replace it in the cache, but a 304
+	// always refers to the validator THIS request sent, so the local copy
+	// is the body it revalidated.
+	var cached etagEntry
+	var conditional bool
+	if c.etags != nil && method == http.MethodGet && out != nil {
+		if cached, conditional = c.etags.get(path); conditional {
+			req.Header.Set("If-None-Match", cached.etag)
+		}
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if conditional && resp.StatusCode == http.StatusNotModified {
+		if err := json.Unmarshal(cached.body, out); err != nil {
+			return fmt.Errorf("itag: decode cached %s %s response: %w", method, path, err)
+		}
+		return nil
+	}
 	if resp.StatusCode >= 400 {
 		return decodeAPIError(resp)
 	}
 	if out != nil {
+		if c.etags != nil && method == http.MethodGet {
+			if etag := resp.Header.Get("Etag"); etag != "" {
+				raw, err := io.ReadAll(resp.Body)
+				if err != nil {
+					return fmt.Errorf("itag: read %s %s response: %w", method, path, err)
+				}
+				if err := json.Unmarshal(raw, out); err != nil {
+					return fmt.Errorf("itag: decode %s %s response: %w", method, path, err)
+				}
+				c.etags.put(path, etag, raw)
+				return nil
+			}
+		}
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return fmt.Errorf("itag: decode %s %s response: %w", method, path, err)
 		}

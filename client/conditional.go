@@ -1,0 +1,58 @@
+package client
+
+import "sync"
+
+// etagCache remembers the validator and decoded-body bytes of the last
+// 200 response per GET path, so later requests can revalidate with
+// If-None-Match and reuse the cached body on a 304. One cache is shared
+// by every copy derived from the same WithConditionalGETs call, which is
+// what makes the copies cheap: derived clients (WithHeader, WithRetry)
+// keep benefiting from each other's validators.
+type etagCache struct {
+	mu      sync.Mutex
+	entries map[string]etagEntry
+}
+
+type etagEntry struct {
+	etag string
+	body []byte
+}
+
+// etagCacheMaxEntries bounds the per-client validator cache; beyond it
+// an arbitrary entry is dropped per insert (the cache is a best-effort
+// bandwidth saver, not a source of truth, so eviction order is free).
+const etagCacheMaxEntries = 1024
+
+func (c *etagCache) get(path string) (etagEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[path]
+	return e, ok
+}
+
+func (c *etagCache) put(path, etag string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]etagEntry)
+	}
+	if _, ok := c.entries[path]; !ok && len(c.entries) >= etagCacheMaxEntries {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[path] = etagEntry{etag: etag, body: body}
+}
+
+// WithConditionalGETs returns a copy of the client that revalidates GET
+// responses with If-None-Match. When the server answers 304 Not
+// Modified, the client decodes the cached body from the previous 200
+// instead of re-reading the wire — the typed result is indistinguishable
+// from a fresh fetch, only cheaper. Safe for concurrent use; opt-in
+// because it holds the last response body per GET path in memory.
+func (c *Client) WithConditionalGETs() *Client {
+	nc := *c
+	nc.etags = &etagCache{}
+	return &nc
+}

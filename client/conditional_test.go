@@ -1,0 +1,193 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"itag/client"
+	"itag/internal/core"
+	"itag/internal/server"
+	"itag/internal/store"
+)
+
+// condTestServer is a hand-rolled origin that counts full responses vs
+// revalidations, so the tests can see exactly which path the SDK took.
+type condTestServer struct {
+	mu      sync.Mutex
+	etag    string
+	body    string
+	full    atomic.Int64 // 200s served
+	revalid atomic.Int64 // 304s served
+}
+
+func (s *condTestServer) set(etag, body string) {
+	s.mu.Lock()
+	s.etag, s.body = etag, body
+	s.mu.Unlock()
+}
+
+func (s *condTestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	etag, body := s.etag, s.body
+	s.mu.Unlock()
+	w.Header().Set("Etag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		s.revalid.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.full.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, body)
+}
+
+func TestConditionalGETsRevalidate(t *testing.T) {
+	origin := &condTestServer{}
+	origin.set(`"v1"`, `{"id":"first"}`)
+	srv := httptest.NewServer(origin)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New(srv.URL, srv.Client()).WithConditionalGETs()
+
+	// Health discards the body: no decode target means no caching and no
+	// validator, exercising the out==nil guard.
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	do := func() string {
+		t.Helper()
+		u, err := c.GetUser(ctx, "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u.ID
+	}
+	if id := do(); id != "first" {
+		t.Fatalf("first fetch = %q", id)
+	}
+	full0, rev0 := origin.full.Load(), origin.revalid.Load()
+
+	// Second fetch: revalidated, decoded from the cached body.
+	if id := do(); id != "first" {
+		t.Fatalf("revalidated fetch = %q", id)
+	}
+	if origin.full.Load() != full0 || origin.revalid.Load() != rev0+1 {
+		t.Fatalf("second fetch: full %d→%d revalid %d→%d",
+			full0, origin.full.Load(), rev0, origin.revalid.Load())
+	}
+
+	// Origin state changes: stale validator misses, fresh body decoded and
+	// the new validator takes over.
+	origin.set(`"v2"`, `{"id":"second"}`)
+	if id := do(); id != "second" {
+		t.Fatalf("post-change fetch = %q", id)
+	}
+	if id := do(); id != "second" || origin.revalid.Load() != rev0+2 {
+		t.Fatalf("post-change revalidation = %q (revalid %d)", id, origin.revalid.Load())
+	}
+
+	// A client without the opt-in never sends a validator.
+	plain := client.New(srv.URL, srv.Client())
+	before := origin.revalid.Load()
+	for i := 0; i < 2; i++ {
+		if _, err := plain.GetUser(ctx, "u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if origin.revalid.Load() != before {
+		t.Fatal("plain client sent If-None-Match")
+	}
+}
+
+// TestConditionalGETsAgainstServer drives the real v1 surface: repeated
+// GetResource calls revalidate against the server's encoded-response
+// cache, and a write in between always yields fresh data — never a stale
+// cached decode.
+func TestConditionalGETsAgainstServer(t *testing.T) {
+	svc := core.NewService(store.NewCatalog(store.OpenMemory()), 7)
+	srv := httptest.NewServer(server.New(svc, nil))
+	t.Cleanup(srv.Close)
+	t.Cleanup(svc.Close)
+	c := client.New(srv.URL, srv.Client()).WithConditionalGETs()
+	ctx := context.Background()
+
+	prov, err := c.RegisterProvider(ctx, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagr, err := c.RegisterTagger(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := c.CreateProject(ctx, client.CreateProjectReq{
+		ProviderID: prov, Name: "cond", Budget: 50, PayPerTask: 0.05,
+		Resources: []client.UploadedResource{{ID: "r1", Kind: "url", Name: "r1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.GetResource(ctx, proj, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2, err := c.GetResource(ctx, proj, "r1"); err != nil || st2.ID != st.ID || st2.Posts != st.Posts {
+		t.Fatalf("revalidated read diverged: %+v vs %+v (%v)", st2, st, err)
+	}
+
+	task, err := c.RequestTask(ctx, proj, tagr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitTask(ctx, proj, task.ID, []string{"go", "db"}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.GetResource(ctx, proj, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Posts != st.Posts+1 {
+		t.Fatalf("post-write read is stale: %+v after %+v", after, st)
+	}
+}
+
+// TestConditionalGETsConcurrent hammers one conditional client from many
+// goroutines (run under -race): the validator cache must stay coherent
+// and every decode must come back well-formed.
+func TestConditionalGETsConcurrent(t *testing.T) {
+	origin := &condTestServer{}
+	origin.set(`"v1"`, `{"id":"x"}`)
+	srv := httptest.NewServer(origin)
+	defer srv.Close()
+	c := client.New(srv.URL, srv.Client()).WithConditionalGETs()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if g == 0 && i%10 == 0 {
+					origin.set(fmt.Sprintf(`"v%d"`, i), fmt.Sprintf(`{"id":"x%d"}`, i))
+				}
+				got, err := c.GetUser(ctx, fmt.Sprintf("u%d", g%3))
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if got.ID == "" {
+					t.Error("empty decode")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

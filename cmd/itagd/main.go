@@ -111,6 +111,7 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server write timeout (SSE streams are exempt)")
 	routeTimeout := fs.Duration("route-timeout", 30*time.Second, "per-route handler deadline (<0 disables)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight runs")
+	respCacheBytes := fs.Int64("resp-cache-bytes", 0, "byte budget of the encoded-response cache behind the hot GET routes (0 = 8 MiB default, negative disables)")
 	admission := fs.Bool("admission", false, "enable queueing-model admission control on the task routes (shed past the saturation knee with 429 + Retry-After)")
 	sloP99 := fs.Duration("slo-p99", 500*time.Millisecond, "p99 latency target the admission knee and autoscaling pool are solved against")
 	poolMin := fs.Int("pool-min", 0, "autoscaling step-pool worker floor (0 = scale to zero when idle)")
@@ -201,7 +202,7 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 		if !*quiet {
 			reqLog = logger
 		}
-		srvOpts := server.Options{Logger: reqLog, RouteTimeout: *routeTimeout}
+		srvOpts := server.Options{Logger: reqLog, RouteTimeout: *routeTimeout, RespCacheBytes: *respCacheBytes}
 		if *admission {
 			srvOpts.Admission = &server.AdmissionOptions{SLO: *sloP99}
 		}

@@ -131,9 +131,12 @@ func TestErrorEnvelopes(t *testing.T) {
 }
 
 func TestRequestIDHonorsIncoming(t *testing.T) {
+	// An honored incoming id rides the fast path: no context injection, so
+	// consumers read it through RequestIDOf (which falls back to the
+	// header) rather than RequestIDFrom.
 	var got string
 	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		got = RequestIDFrom(r.Context())
+		got = RequestIDOf(r)
 	}), RequestID)
 	req := httptest.NewRequest("GET", "/x", nil)
 	req.Header.Set("X-Request-Id", "trace-me-42")

@@ -163,13 +163,16 @@ func (k *Kit) WriteError(w http.ResponseWriter, r *http.Request, err error) {
 		}
 		k.Metrics.ObserveError(comp, cat)
 	}
+	// The envelope structs marshal unconditionally (strings and ints
+	// only), so the ignored WriteJSON error can only be a wire failure —
+	// the client is gone; there is nobody left to answer.
 	if IsLegacy(r.Context()) {
-		WriteJSON(w, ae.Status, legacyEnvelope{Error: ae.Error()})
+		_ = WriteJSON(w, ae.Status, legacyEnvelope{Error: ae.Error()})
 		return
 	}
 	// Copy before stamping the request id: the mapper may hand back shared
 	// sentinel values.
 	stamped := *ae
-	stamped.RequestID = RequestIDFrom(r.Context())
-	WriteJSON(w, stamped.Status, envelope{Error: &stamped})
+	stamped.RequestID = RequestIDOf(r)
+	_ = WriteJSON(w, stamped.Status, envelope{Error: &stamped})
 }

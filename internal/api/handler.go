@@ -3,6 +3,8 @@ package api
 import (
 	"encoding/json"
 	"net/http"
+
+	"itag/internal/errs"
 )
 
 // Kit carries the cross-cutting pieces every typed handler needs: the
@@ -47,8 +49,37 @@ func Handle[Req, Resp any](k *Kit, status int, fn HandlerFunc[Req, Resp]) http.H
 			w.WriteHeader(status)
 			return
 		}
-		WriteJSON(w, status, resp)
+		if raw, ok := any(resp).(*Raw); ok {
+			if raw == nil {
+				// A handler bug, not a valid empty response.
+				k.WriteError(w, r, Errorf(http.StatusInternalServerError, CodeInternal, "nil raw response"))
+				return
+			}
+			k.observeWriteFailure(WriteRaw(w, status, raw))
+			return
+		}
+		if err := WriteJSON(w, status, resp); err != nil {
+			if errs.CategoryOf(err) == errs.CategoryIO {
+				// The body already started; nothing more can be sent.
+				k.observeWriteFailure(err)
+				return
+			}
+			// Marshal failure: no byte reached the wire, so answer with the
+			// 500 envelope instead of silently truncating the response. The
+			// transport error is built here, not left to the kit's domain
+			// mapper — an encode bug is the kit's own failure.
+			k.WriteError(w, r, Wrap(http.StatusInternalServerError, CodeInternal, err))
+		}
 	}
+}
+
+// observeWriteFailure counts a wire-write failure in the error matrix; a
+// client that went away mid-response is not answerable, only observable.
+func (k *Kit) observeWriteFailure(err error) {
+	if err == nil || k.Metrics == nil {
+		return
+	}
+	k.Metrics.ObserveError(errs.ComponentOf(err), errs.CategoryOf(err))
 }
 
 // DecodeJSON strictly decodes the request body into v: unknown fields are
@@ -61,11 +92,4 @@ func DecodeJSON(r *http.Request, v any) error {
 		return Errorf(http.StatusBadRequest, CodeInvalidRequest, "invalid request body: %v", err)
 	}
 	return nil
-}
-
-// WriteJSON writes v as a JSON response with the given status.
-func WriteJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }

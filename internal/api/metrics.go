@@ -198,16 +198,23 @@ func (m *Metrics) register(label string) *routeStats {
 	return rs
 }
 
+// swPool recycles the per-request status-recording writer wrapper.
+// Nothing retains the wrapper past ServeHTTP (SSE handlers return when
+// their stream ends), so returning it to the pool on the way out is safe.
+var swPool = sync.Pool{New: func() any { return &statusWriter{} }}
+
 // Track wraps a route handler with metrics collection under the given
 // label (conventionally the mux pattern). The label's counter block is
-// resolved here, once, so the per-request path is lock-free.
+// resolved here, once, so the per-request path is lock-free, and the
+// status-writer wrapper is pooled.
 func (m *Metrics) Track(label string, h http.Handler) http.Handler {
 	if m == nil {
 		return h
 	}
 	rs := m.register(label)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, 0
 		m.inFlight.Add(1)
 		start := time.Now()
 		defer func() {
@@ -219,6 +226,8 @@ func (m *Metrics) Track(label string, h http.Handler) http.Handler {
 				status = http.StatusOK
 			}
 			rs.observe(status, elapsed)
+			sw.ResponseWriter = nil
+			swPool.Put(sw)
 		}()
 		h.ServeHTTP(sw, r)
 	})

@@ -303,6 +303,54 @@ func TestClusterRoutingReplicationAndFollowerReads(t *testing.T) {
 	}
 }
 
+// TestFollowerReadFreshAfterLeaderWrite pins the bounded-staleness
+// contract against decode caching: a follower read decodes a record, the
+// leader then mutates it, and once the follower's watermark catches up a
+// re-read must serve the new state. Replicas apply records below the
+// Catalog, so a cached decode from the first read would otherwise be
+// served forever — which is why startReplica builds an uncached Catalog.
+func TestFollowerReadFreshAfterLeaderWrite(t *testing.T) {
+	tc := startCluster(t, []string{"alpha", "beta"}, nil)
+	slot, project, _ := tc.seedProject(4)
+	ownerURL := "http://" + slot
+	var other string
+	for s := range tc.nodes {
+		if s != slot {
+			other = s
+		}
+	}
+
+	// Prime the replica's read path with the pre-write state.
+	tc.waitCaughtUp(slot)
+	var info struct {
+		Project struct {
+			Budget int `json:"budget"`
+		} `json:"project"`
+	}
+	resp, err := tc.do(http.MethodGet, "http://"+other+"/api/v1/projects/"+project, nil, &info,
+		HeaderRead, ReadFollower)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming follower read: %v (status %v)", err, resp.Status)
+	}
+	before := info.Project.Budget
+
+	resp, err = tc.do(http.MethodPost, ownerURL+"/api/v1/projects/"+project+"/budget",
+		map[string]int{"extra": 77}, nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("add budget: %v (status %v)", err, resp.Status)
+	}
+
+	tc.waitCaughtUp(slot)
+	resp, err = tc.do(http.MethodGet, "http://"+other+"/api/v1/projects/"+project, nil, &info,
+		HeaderRead, ReadFollower)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower re-read: %v (status %v)", err, resp.Status)
+	}
+	if got, want := info.Project.Budget, before+77; got != want {
+		t.Fatalf("follower read budget = %d after leader write, want %d (stale decode served past the watermark)", got, want)
+	}
+}
+
 // TestClusterPromotionAfterCrash is the kill-a-node drill in test form: a
 // leader is wedged with the store's crash failpoint and dropped from the
 // network; a follower promotes its replica, resumes the interrupted run,

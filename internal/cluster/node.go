@@ -811,8 +811,15 @@ func (n *Node) startReplica(slot string) (*replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	svc := core.NewService(store.NewCatalog(db), n.opts.Seed)
-	srv := server.NewWith(svc, server.Options{RouteTimeout: n.opts.RouteTimeout})
+	// Replication applies records below the Catalog (ApplyReplicated
+	// never touches the record cache's write clocks), so on a replica a
+	// cached decode would be served forever after the record changed and
+	// the encoded-response cache's serve version would never move —
+	// stale 304s with no staleness bound. Follower reads therefore run
+	// fully uncached; leaders (including promoted ones) write through
+	// the Catalog and keep both caches.
+	svc := core.NewService(store.NewCatalogUncached(db), n.opts.Seed)
+	srv := server.NewWith(svc, server.Options{RouteTimeout: n.opts.RouteTimeout, RespCacheBytes: -1})
 	ctx, cancel := context.WithCancel(context.Background())
 	rep := &replica{slot: slot, db: db, svc: svc, srv: srv, cancel: cancel, done: make(chan struct{})}
 	n.wg.Add(1)

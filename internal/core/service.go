@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"itag/internal/capacity"
@@ -51,6 +52,15 @@ type Service struct {
 	// by NewServiceWith; nil keeps the historical dedicated-goroutine
 	// behaviour.
 	pool *capacity.Pool
+
+	// runsEpoch counts run-state transitions (a run starting, finishing,
+	// or being claimed/rolled back) that flip externally visible state —
+	// ProjectInfo.Running — WITHOUT a catalog write. Every other mutation
+	// a response can observe rides on a Catalog.Put*, whose table clock
+	// ServeVersion already folds in; this counter covers the rest, and it
+	// is bumped strictly AFTER the state change it reports (the order the
+	// encoded-response cache's recheck-after-publish protocol needs).
+	runsEpoch atomic.Uint64
 
 	lifeCtx    context.Context
 	cancelLife context.CancelFunc
@@ -152,6 +162,25 @@ func (s *Service) Ledger() *crowd.Ledger { return s.ledger }
 
 // Catalog exposes the persistent catalog.
 func (s *Service) Catalog() *store.Catalog { return s.cat }
+
+// ServeVersion returns a monotone version of everything a read-side
+// response can observe: the catalog's summed table write clocks plus the
+// run-state epoch. Any completed mutation — a catalog write, a run
+// starting or finishing — advances it, and both clocks advance strictly
+// after the state they report changes, so two equal reads bracketing a
+// response prove the response is not stale. ok=false on an uncached
+// catalog (no write clocks to key by).
+func (s *Service) ServeVersion() (uint64, bool) {
+	sum, ok := s.cat.WriteSeqSum()
+	if !ok {
+		return 0, false
+	}
+	return sum + s.runsEpoch.Load(), true
+}
+
+// bumpRunsEpoch records a run-state transition that has no catalog write
+// of its own. Call it AFTER the transition is visible.
+func (s *Service) bumpRunsEpoch() { s.runsEpoch.Add(1) }
 
 // StoreStats reports the backing store's durability-layer counters (group
 // commit batching, fsyncs, segments, recovery time) — surfaced by the HTTP
@@ -439,12 +468,17 @@ func (s *Service) StartSimulation(ctx context.Context, projectID string) error {
 	run.running = true
 	run.doneCh = make(chan struct{})
 	run.Engine.Monitor().Restart()
+	s.bumpRunsEpoch()
 	finish := func(err error) {
 		run.mu.Lock()
 		run.runErr = err
 		run.running = false
 		close(run.doneCh)
 		run.mu.Unlock()
+		// Bump before finishProject: its PutProject also advances the
+		// serve version, but the GetProject-error path skips it, and the
+		// Running flip must never be the unversioned mutation.
+		s.bumpRunsEpoch()
 		s.finishProject(projectID, err)
 	}
 	if s.pool != nil {
@@ -466,6 +500,7 @@ func (s *Service) StartSimulation(ctx context.Context, projectID string) error {
 			run.runErr = err
 			run.running = false
 			close(run.doneCh)
+			s.bumpRunsEpoch()
 			return err
 		}
 		return nil
@@ -533,6 +568,7 @@ func (s *Service) RunSimulations(ctx context.Context, projectIDs []string, worke
 				close(fresh)
 				prev.mu.Unlock()
 			}
+			s.bumpRunsEpoch()
 			return fmt.Errorf("%w: project %s", ErrProjectRunning, projectIDs[i])
 		}
 		prevCh[i] = run.doneCh
@@ -541,6 +577,7 @@ func (s *Service) RunSimulations(ctx context.Context, projectIDs []string, worke
 		run.Engine.Monitor().Restart()
 		run.mu.Unlock()
 	}
+	s.bumpRunsEpoch()
 
 	errs := Pool{Workers: workers}.RunContext(ctx, engines)
 
@@ -551,6 +588,7 @@ func (s *Service) RunSimulations(ctx context.Context, projectIDs []string, worke
 		run.running = false
 		close(run.doneCh)
 		run.mu.Unlock()
+		s.bumpRunsEpoch()
 		s.finishProject(projectIDs[i], errs[i])
 		if errs[i] != nil && first == nil {
 			first = errs[i]

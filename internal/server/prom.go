@@ -19,6 +19,9 @@ func (s *Server) PromHandler() http.Handler {
 			fams = append(fams, storeFamilies(st)...)
 		}
 		fams = append(fams, s.capacityFamilies()...)
+		if s.resp != nil {
+			fams = append(fams, s.resp.families()...)
+		}
 		if s.extraFams != nil {
 			fams = append(fams, s.extraFams()...)
 		}

@@ -44,6 +44,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"itag/internal/api"
@@ -79,6 +80,12 @@ type Options struct {
 	// shed with 429 resource_exhausted and a Retry-After hint. Health,
 	// metrics and SSE routes are never gated.
 	Admission *AdmissionOptions
+	// RespCacheBytes bounds the encoded-response cache behind the hot GET
+	// routes (project dashboard, resource detail, export): 0 picks the
+	// 8 MiB default, < 0 disables the cache (those routes then encode per
+	// request through the pooled pipeline, without ETags). The cache is
+	// also disabled when the service's catalog keeps no write clocks.
+	RespCacheBytes int64
 }
 
 // Server is the HTTP frontend over a core.Service.
@@ -91,6 +98,7 @@ type Server struct {
 	sseBuffer    int
 	extraFams    func() []api.Family
 	admission    *capacity.Governor // nil when admission control is off
+	resp         *respCache         // nil when the encoded-response cache is off
 	handler      http.Handler
 }
 
@@ -116,6 +124,9 @@ func NewWith(svc *core.Service, opts Options) *Server {
 		extraFams:    opts.ExtraFamilies,
 	}
 	s.kit = &api.Kit{MapError: mapErr, Metrics: s.metrics}
+	if opts.RespCacheBytes >= 0 {
+		s.resp = newRespCache(svc.ServeVersion, opts.RespCacheBytes)
+	}
 	s.initAdmission(opts.Admission)
 	s.routes()
 	s.handler = api.Chain(s.mux,
@@ -135,6 +146,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // metrics endpoint).
 func (s *Server) Metrics() *api.Metrics { return s.metrics }
 
+// RespCacheStats reports the encoded-response cache counters (all zero
+// when the cache is disabled).
+func (s *Server) RespCacheStats() RespCacheStats { return s.resp.stats() }
+
 // route mounts a v1 route with metrics tracking and the per-route timeout.
 func (s *Server) route(pattern string, h http.Handler) {
 	if s.routeTimeout > 0 {
@@ -149,14 +164,44 @@ func (s *Server) routeStream(pattern string, h http.Handler) {
 	s.mux.Handle(pattern, s.metrics.Track(pattern, h))
 }
 
+// routeCached mounts a cached GET route: metrics, but no per-route
+// timeout. A hit answers from memory in microseconds; a miss's compute
+// still observes the request context's cancellation (every core.Service
+// entry point checks it), and skipping the deadline keeps a timer
+// allocation and three context allocations off the hottest path.
+func (s *Server) routeCached(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, s.metrics.Track(pattern, h))
+}
+
+// legacyDeprecation is the RFC 9745 Deprecation header value on every
+// legacy /api/* alias: 2026-08-08T00:00:00Z, the release that documented
+// /api/v1 as the successor surface. Shared slices; never mutated.
+var legacyDeprecation = []string{"@1786147200"}
+
 // alias mounts a legacy /api/* route over a v1 handler: same semantics,
-// pre-v1 string error bodies.
+// pre-v1 string error bodies, plus the RFC 9745 deprecation headers
+// (Deprecation and a successor-version Link naming the request's /api/v1
+// equivalent).
 func (s *Server) alias(pattern string, h http.Handler) {
+	h = withDeprecation(h)
 	h = api.WithLegacy(h)
 	if s.routeTimeout > 0 {
 		h = api.Timeout(s.routeTimeout)(h)
 	}
 	s.mux.Handle(pattern, s.metrics.Track(pattern, h))
+}
+
+// withDeprecation stamps the deprecation headers on a legacy route:
+// "GET /api/projects/p1" → Link: </api/v1/projects/p1>;
+// rel="successor-version". Every legacy path maps to its v1 successor by
+// prefix substitution alone — the alias table mounts the same patterns.
+func withDeprecation(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd["Deprecation"] = legacyDeprecation
+		hd["Link"] = []string{"</api/v1" + strings.TrimPrefix(r.URL.Path, "/api") + `>; rel="successor-version"`}
+		h.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) routes() {
@@ -187,6 +232,20 @@ func (s *Server) routes() {
 	submitTask := api.Handle(k, http.StatusOK, s.submitTask)
 	judgePost := api.Handle(k, http.StatusOK, s.judgePost)
 
+	// Cached v1 variants of the hot GETs: encoded-response cache, ETag /
+	// If-None-Match revalidation, Cache-Control: no-cache. The legacy
+	// aliases keep the plain handlers so their wire surface (headers
+	// included) stays exactly pre-v1.
+	getProjectCached := s.cachedJSON(respProject, emptyKeyB, func(r *http.Request) (any, error) {
+		return s.svc.Project(r.Context(), r.PathValue("id"))
+	})
+	resourceDetailCached := s.cachedJSON(respDetail, ridKeyB, func(r *http.Request) (any, error) {
+		return s.svc.ResourceDetail(r.Context(), r.PathValue("id"), r.PathValue("rid"))
+	})
+	exportCached := s.cachedJSON(respExport, queryKeyB, func(r *http.Request) (any, error) {
+		return s.exportV1(r, api.None{})
+	})
+
 	// --- v1 ---------------------------------------------------------------
 	s.route("GET /api/v1/healthz", healthz)
 	s.route("GET /api/v1/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -196,10 +255,14 @@ func (s *Server) routes() {
 			api.Snapshot
 			Store *store.Stats `json:"store,omitempty"`
 		}
-		api.WriteJSON(w, http.StatusOK, metricsResp{
+		err := api.WriteJSON(w, http.StatusOK, metricsResp{
 			Snapshot: s.metrics.Snapshot(),
 			Store:    s.svc.StoreStats(),
 		})
+		if err != nil && errs.CategoryOf(err) != errs.CategoryIO {
+			// Marshal failure: nothing was written yet, answer the envelope.
+			s.kit.WriteError(w, r, err)
+		}
 	}))
 
 	s.route("POST /api/v1/providers", registerProvider)
@@ -210,15 +273,15 @@ func (s *Server) routes() {
 
 	s.route("GET /api/v1/projects", api.Handle(k, http.StatusOK, s.listProjectsV1))
 	s.route("POST /api/v1/projects", createProject)
-	s.route("GET /api/v1/projects/{id}", getProject)
+	s.routeCached("GET /api/v1/projects/{id}", getProjectCached)
 	s.route("POST /api/v1/projects/{id}/start", startProject)
 	s.route("POST /api/v1/projects/{id}/stop", stopProject)
 	s.route("POST /api/v1/projects/{id}/budget", addBudget)
 	s.route("POST /api/v1/projects/{id}/strategy", switchStrategy)
 	s.route("GET /api/v1/projects/{id}/series", series)
-	s.route("GET /api/v1/projects/{id}/export", api.Handle(k, http.StatusOK, s.exportV1))
+	s.routeCached("GET /api/v1/projects/{id}/export", exportCached)
 	s.routeStream("GET /api/v1/projects/{id}/events", http.HandlerFunc(s.handleEvents))
-	s.route("GET /api/v1/projects/{id}/resources/{rid}", resourceDetail)
+	s.routeCached("GET /api/v1/projects/{id}/resources/{rid}", resourceDetailCached)
 	s.route("POST /api/v1/projects/{id}/resources/{rid}/promote", promote)
 	s.route("POST /api/v1/projects/{id}/resources/{rid}/stop", stopRes)
 	s.route("POST /api/v1/projects/{id}/resources/{rid}/resume", resumeRes)
@@ -387,6 +450,7 @@ func (s *Server) startProject(r *http.Request, _ api.None) (map[string]bool, err
 	if err := s.svc.StartSimulation(r.Context(), r.PathValue("id")); err != nil {
 		return nil, err
 	}
+	s.refreshProject(r.PathValue("id"))
 	return map[string]bool{"started": true}, nil
 }
 
@@ -394,6 +458,7 @@ func (s *Server) stopProject(r *http.Request, _ api.None) (map[string]bool, erro
 	if err := s.svc.StopProject(r.Context(), r.PathValue("id")); err != nil {
 		return nil, err
 	}
+	s.refreshProject(r.PathValue("id"))
 	return map[string]bool{"stopped": true}, nil
 }
 
@@ -405,6 +470,7 @@ func (s *Server) addBudget(r *http.Request, req budgetReq) (map[string]bool, err
 	if err := s.svc.AddBudget(r.Context(), r.PathValue("id"), req.Extra); err != nil {
 		return nil, err
 	}
+	s.refreshProject(r.PathValue("id"))
 	return map[string]bool{"added": true}, nil
 }
 
@@ -416,6 +482,7 @@ func (s *Server) switchStrategy(r *http.Request, req strategyReq) (map[string]bo
 	if err := s.svc.SwitchStrategy(r.Context(), r.PathValue("id"), req.Strategy); err != nil {
 		return nil, err
 	}
+	s.refreshProject(r.PathValue("id"))
 	return map[string]bool{"switched": true}, nil
 }
 
@@ -450,6 +517,7 @@ func (s *Server) resourceAction(action func(*core.Service, context.Context, stri
 		if err := action(s.svc, r.Context(), r.PathValue("id"), r.PathValue("rid")); err != nil {
 			return nil, err
 		}
+		s.refreshResource(r.PathValue("id"), r.PathValue("rid"))
 		return map[string]bool{"ok": true}, nil
 	})
 }
@@ -461,7 +529,12 @@ type requestTaskReq struct {
 }
 
 func (s *Server) requestTask(r *http.Request, req requestTaskReq) (store.TaskRec, error) {
-	return s.svc.RequestTask(r.Context(), r.PathValue("id"), req.TaggerID)
+	task, err := s.svc.RequestTask(r.Context(), r.PathValue("id"), req.TaggerID)
+	if err != nil {
+		return store.TaskRec{}, err
+	}
+	s.refreshResource(r.PathValue("id"), task.ResourceID)
+	return task, nil
 }
 
 type submitTaskReq struct {
@@ -472,6 +545,7 @@ func (s *Server) submitTask(r *http.Request, req submitTaskReq) (map[string]bool
 	if err := s.svc.SubmitTask(r.Context(), r.PathValue("id"), r.PathValue("tid"), req.Tags); err != nil {
 		return nil, err
 	}
+	s.refreshProject(r.PathValue("id"))
 	return map[string]bool{"submitted": true}, nil
 }
 
@@ -488,6 +562,7 @@ func (s *Server) judgePost(r *http.Request, req judgeReq) (map[string]bool, erro
 	if err := s.svc.JudgePost(r.Context(), r.PathValue("id"), r.PathValue("rid"), seq, req.Approved); err != nil {
 		return nil, err
 	}
+	s.refreshResource(r.PathValue("id"), r.PathValue("rid"))
 	return map[string]bool{"judged": true}, nil
 }
 

@@ -79,6 +79,21 @@ func (c *recordCache) seq(table string) (uint64, bool) {
 	return s.Load(), true
 }
 
+// seqSum sums every table's write clock. Each clock is non-decreasing,
+// so the sum is a monotone catalog-wide version: equality between two
+// reads proves no table advanced in between (no write completed), which
+// is the invalidation signal layered caches key their entries by. The
+// loads are individually atomic but not a snapshot — a sum racing a
+// writer may land between the bump and the write's other effects, which
+// only ever makes a derived cache entry expire early, never late.
+func (c *recordCache) seqSum() uint64 {
+	var sum uint64
+	for _, s := range c.seqs {
+		sum += s.Load()
+	}
+	return sum
+}
+
 // get returns the cached decode of (table, key), validating the entry's
 // stamp against the key's last-write record. An entry published by a fill
 // that lost a race with a writer fails validation and is dropped; a

@@ -219,6 +219,28 @@ func (c *Catalog) invalidate(table, key string) {
 	}
 }
 
+// WriteSeq returns a table's write clock: the number of completed writes
+// (Put/Append/Update) the catalog has applied to it. Every write bumps
+// the clock after its store mutation completes, so observing an
+// unchanged clock across a read proves no write to the table completed
+// in between. ok=false on an uncached catalog, which keeps no clocks.
+func (c *Catalog) WriteSeq(table string) (uint64, bool) {
+	if c.cache == nil {
+		return 0, false
+	}
+	return c.cache.seq(table)
+}
+
+// WriteSeqSum returns the sum of all table write clocks — the monotone
+// catalog-wide version the server's encoded-response cache stamps its
+// entries with. ok=false on an uncached catalog.
+func (c *Catalog) WriteSeqSum() (uint64, bool) {
+	if c.cache == nil {
+		return 0, false
+	}
+	return c.cache.seqSum(), true
+}
+
 // DB exposes the underlying store backend.
 func (c *Catalog) DB() Store { return c.db }
 

@@ -10,7 +10,10 @@
 #   5. the S8 cluster artifact is part of the canonical set: a directory
 #      holding every artifact but BENCH_cluster.json fails (exit 2),
 #   6. the S9 capacity artifact is part of the canonical set: a directory
-#      holding every artifact but BENCH_capacity.json fails (exit 2).
+#      holding every artifact but BENCH_capacity.json fails (exit 2),
+#   7. the serving artifact must gate allocations: BENCH_serving.json
+#      without the cached_detail_allocs_under_10 gate is a test failure,
+#      and an allocs/op regression (ratio below min) fails (exit 1).
 #
 # Run from anywhere: scripts/test_bench_gate.sh
 set -eu
@@ -71,5 +74,18 @@ BENCH_GATE_DIR="$TMP/nocapacity" "$GATE" >/dev/null 2>&1
 rc=$?
 set -e
 [ "$rc" -eq 2 ] || fail "canonical set without BENCH_capacity.json exited $rc, want 2"
+
+# 7. The serving artifact carries the allocs/op gate, and a regression
+#    below its committed minimum fails.
+grep -q '"name": *"cached_detail_allocs_under_10"' "$ROOT/BENCH_serving.json" \
+  || fail "BENCH_serving.json lost the cached_detail_allocs_under_10 gate"
+sed '/"name": *"cached_detail_allocs_under_10"/{n
+s/"ratio": *[0-9.eE+-]*/"ratio": 0.2/
+}' "$ROOT/BENCH_serving.json" > "$TMP/BENCH_allocregress.json"
+set +e
+"$GATE" "$TMP/BENCH_allocregress.json" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "allocs/op regression exited $rc, want 1"
 
 echo "test_bench_gate.sh: ok"
