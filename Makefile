@@ -3,7 +3,7 @@ GO ?= go
 # Fuzz budget per target; CI smoke uses the default, nightly passes 10m.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-cluster bench-capacity bench-gate clean
+.PHONY: all build test vet race race-full fuzz metrics-conformance lint check loadgen bench bench-experiments bench-contention bench-quality bench-serving bench-cluster bench-capacity bench-chaos bench-gate chaos clean
 
 all: check
 
@@ -92,6 +92,17 @@ bench-cluster:
 # path fails to demonstrate overload collapse.
 bench-capacity:
 	$(GO) run ./cmd/itag-bench -experiment s9 -record
+
+# Seeded chaos drill against the 3-node quorum cluster (S10): partition,
+# disk stall, leader kill + promote. Recorded to BENCH_chaos.json; fails on
+# acked-write loss, an unbounded operation, or an unrecovered degradation.
+bench-chaos:
+	$(GO) run ./cmd/itag-bench -experiment s10 -record
+
+# The same S10 drill as a test under the race detector (nightly): every
+# pusher, puller, breaker and quorum waiter races the injected faults.
+chaos:
+	$(GO) test -race -run TestS10ChaosDrill -count=1 -v ./internal/bench
 
 # Re-check recorded BENCH_*.json artifacts against their committed gates.
 bench-gate:

@@ -67,6 +67,7 @@ const (
 	CodeCorruption      = "corruption"
 	CodeBatchTooLarge   = "batch_too_large"
 	CodeNotOwner        = "not_owner"
+	CodeUnavailable     = "unavailable"
 	CodeTimeout         = "timeout"
 	CodeCanceled        = "canceled"
 	CodeInternal        = "internal"

@@ -157,9 +157,104 @@ type ClusterClient struct {
 	httpc         *http.Client
 	retry         retryPolicy
 	followerReads bool
+	breakers      *breakerSet // shared across WithX copies: one view of node health
 
 	mu   sync.RWMutex
 	ring *builtRing
+}
+
+// maxRouteHops bounds the 421-follow / ring-refresh loop. Under ring churn
+// (rolling failovers, a misconfigured node pointing back at the caller)
+// each redirect re-targets the call; after this many hops the client stops
+// chasing and surfaces a RouteError instead of ping-ponging forever.
+const maxRouteHops = 4
+
+// Client-side circuit breaker tuning: after clientBreakerThreshold straight
+// transport failures a node is skipped for clientBreakerCooldown, then one
+// probe is admitted. An HTTP response of any status closes the circuit —
+// breakers track reachability, not correctness.
+const (
+	clientBreakerThreshold = 3
+	clientBreakerCooldown  = 2 * time.Second
+)
+
+// ErrNodeSuspect is wrapped into errors returned when a call is refused
+// locally because the target node's circuit breaker is open (recent
+// transport failures). The route loop treats it like a transport failure —
+// refresh the ring and go wherever the key routes now — so callers only
+// see it when no alternative node exists.
+var ErrNodeSuspect = errors.New("itag: node skipped: circuit open after repeated transport failures")
+
+// RouteError reports that routing a key was abandoned after maxRouteHops
+// redirects or reroutes. It wraps the last per-node error.
+type RouteError struct {
+	Key  string
+	Hops int
+	Last error
+}
+
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("itag: routing %q abandoned after %d hops (redirect loop or ring churn): %v", e.Key, e.Hops, e.Last)
+}
+
+func (e *RouteError) Unwrap() error { return e.Last }
+
+// nodeBreaker is one node's circuit state; the zero value is closed.
+type nodeBreaker struct {
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+type breakerSet struct {
+	mu sync.Mutex
+	m  map[string]*nodeBreaker
+}
+
+func newBreakerSet() *breakerSet { return &breakerSet{m: make(map[string]*nodeBreaker)} }
+
+// allow reports whether a call to addr may proceed (admitting a single
+// half-open probe after the cooldown).
+func (bs *breakerSet) allow(addr string, now time.Time) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[addr]
+	if b == nil {
+		return true
+	}
+	if b.openUntil.IsZero() || now.After(b.openUntil) {
+		if !b.openUntil.IsZero() {
+			if b.probing {
+				return false
+			}
+			b.probing = true
+		}
+		return true
+	}
+	return false
+}
+
+func (bs *breakerSet) success(addr string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b := bs.m[addr]; b != nil {
+		b.fails, b.openUntil, b.probing = 0, time.Time{}, false
+	}
+}
+
+func (bs *breakerSet) failure(addr string, now time.Time) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[addr]
+	if b == nil {
+		b = &nodeBreaker{}
+		bs.m[addr] = b
+	}
+	b.fails++
+	b.probing = false
+	if b.fails >= clientBreakerThreshold || !b.openUntil.IsZero() {
+		b.openUntil = now.Add(clientBreakerCooldown)
+	}
 }
 
 // NewCluster builds a cluster client from one or more seed node addresses.
@@ -173,7 +268,7 @@ func NewCluster(seeds []string, httpClient *http.Client) *ClusterClient {
 	for i, s := range seeds {
 		trimmed[i] = strings.TrimRight(s, "/")
 	}
-	return &ClusterClient{seeds: trimmed, httpc: httpClient, retry: defaultRetry}
+	return &ClusterClient{seeds: trimmed, httpc: httpClient, retry: defaultRetry, breakers: newBreakerSet()}
 }
 
 // WithRetry returns a copy whose per-node clients use the given retry
@@ -199,7 +294,7 @@ func (cc *ClusterClient) shallowClone() *ClusterClient {
 	defer cc.mu.RUnlock()
 	return &ClusterClient{
 		seeds: cc.seeds, httpc: cc.httpc, retry: cc.retry,
-		followerReads: cc.followerReads, ring: cc.ring,
+		followerReads: cc.followerReads, ring: cc.ring, breakers: cc.breakers,
 	}
 }
 
@@ -219,7 +314,9 @@ func (cc *ClusterClient) Refresh(ctx context.Context) error {
 	var lastErr error
 	for _, addr := range addrs {
 		var info RingInfo
-		if err := cc.node(addr).do(ctx, http.MethodGet, "/api/v1/cluster/ring", nil, &info); err != nil {
+		if err := cc.call(addr, cc.node(addr), func(c *Client) error {
+			return c.do(ctx, http.MethodGet, "/api/v1/cluster/ring", nil, &info)
+		}); err != nil {
 			lastErr = err
 			continue
 		}
@@ -294,12 +391,39 @@ func (cc *ClusterClient) Leader(ctx context.Context, key string) (*Client, error
 	return cc.node(r.addrs[r.owner(key)]), nil
 }
 
-// route runs fn against the node owning key. A not_owner reply means the
-// client's ring is stale (a follower was promoted): the call is retried
-// once against the address the server pointed at, and the ring refreshes
-// so subsequent calls route correctly. With follower reads enabled, read
-// calls go to the owner's first successor with the follower-read header;
-// a refusal (lag over the staleness bound) falls back to the leader.
+// call runs fn against one node through its circuit breaker: an open
+// circuit refuses the call locally (ErrNodeSuspect) instead of burning a
+// transport timeout against a node that recently proved dead; any HTTP
+// response — success or API error — closes it again.
+func (cc *ClusterClient) call(addr string, c *Client, fn func(*Client) error) error {
+	now := time.Now()
+	if !cc.breakers.allow(addr, now) {
+		return fmt.Errorf("%w (%s)", ErrNodeSuspect, addr)
+	}
+	err := fn(c)
+	var ae *APIError
+	switch {
+	case err == nil, errors.As(err, &ae):
+		cc.breakers.success(addr)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller gave up; that says nothing about the node's health.
+	default:
+		cc.breakers.failure(addr, time.Now())
+	}
+	return err
+}
+
+// route runs fn against the node owning key, chasing at most maxRouteHops
+// redirects. A not_owner reply means the client's ring is stale (a
+// follower was promoted): the ring refreshes and the call follows the
+// address the server pointed at. A transport failure (or a node skipped by
+// its circuit breaker) reroutes wherever a freshly fetched ring places the
+// key. When the hops run out — a redirect loop between misconfigured
+// nodes, or a ring churning faster than the client can chase — the caller
+// gets a RouteError wrapping the last failure instead of an unbounded
+// ping-pong. With follower reads enabled, read calls go to the owner's
+// first successor with the follower-read header; a refusal (lag over the
+// staleness bound) or an unreachable follower falls back to the leader.
 func (cc *ClusterClient) route(ctx context.Context, key string, read bool, fn func(*Client) error) error {
 	r, err := cc.ensureRing(ctx)
 	if err != nil {
@@ -308,49 +432,61 @@ func (cc *ClusterClient) route(ctx context.Context, key string, read bool, fn fu
 	owner := r.owner(key)
 	if read && cc.followerReads {
 		if f := r.firstFollower(owner); f != "" && f != owner {
-			ferr := fn(cc.node(r.addrs[f]).WithHeader("X-Itag-Read", "follower"))
+			faddr := r.addrs[f]
+			ferr := cc.call(faddr, cc.node(faddr).WithHeader("X-Itag-Read", "follower"), fn)
 			var ae *APIError
-			if ferr == nil || !errors.As(ferr, &ae) || ae.Code != CodeNotOwner {
+			if ferr == nil {
+				return nil
+			}
+			if errors.As(ferr, &ae) && ae.Code != CodeNotOwner {
 				return ferr
 			}
-			// Too stale (or not a replica holder): fall through to the leader.
+			// Too stale, not a replica holder, or unreachable: fall through
+			// to the leader.
 		}
 	}
-	err = fn(cc.node(r.addrs[owner]))
-	if err == nil {
-		return nil
-	}
-	var ae *APIError
-	switch {
-	case errors.As(err, &ae) && ae.Code == CodeNotOwner:
-		// Stale ring: a follower was promoted. Adopt the fresh ring, then
-		// retry once at the address the server named (or wherever the new
-		// ring routes the key).
-		_ = cc.Refresh(ctx)
-		if ae.OwnerHint != "" {
-			return fn(cc.node(ae.OwnerHint))
+	addr := r.addrs[owner]
+	var last error
+	for hop := 0; hop < maxRouteHops; hop++ {
+		err := cc.call(addr, cc.node(addr), fn)
+		if err == nil {
+			return nil
 		}
-	case errors.As(err, &ae):
-		return err // a real API failure: routing was fine
-	case ctx.Err() != nil:
-		return err
-	default:
-		// Transport failure — the owner may be dead and its slot promoted
-		// elsewhere. Refresh walks the surviving members (and the seeds)
-		// for a newer ring; retry once wherever it routes the key now.
-		if rerr := cc.Refresh(ctx); rerr != nil {
+		last = err
+		var ae *APIError
+		switch {
+		case errors.As(err, &ae) && ae.Code == CodeNotOwner:
+			// Stale ring: a follower was promoted. Adopt the fresh ring,
+			// then follow the address the server named (or wherever the
+			// new ring routes the key).
+			_ = cc.Refresh(ctx)
+			if ae.OwnerHint != "" {
+				addr = strings.TrimRight(ae.OwnerHint, "/")
+				continue
+			}
+		case errors.As(err, &ae):
+			return err // a real API failure: routing was fine
+		case ctx.Err() != nil:
+			return err
+		default:
+			// Transport failure or an open breaker — the node may be dead
+			// and its slot promoted elsewhere. Refresh walks the surviving
+			// members (and the seeds) for a newer ring.
+			if rerr := cc.Refresh(ctx); rerr != nil {
+				return err
+			}
+		}
+		nr, rerr := cc.ensureRing(ctx)
+		if rerr != nil {
 			return err
 		}
+		next := nr.addrs[nr.owner(key)]
+		if next == "" || next == addr {
+			return err // nothing changed: don't hammer the same node again
+		}
+		addr = next
 	}
-	nr, rerr := cc.ensureRing(ctx)
-	if rerr != nil {
-		return err
-	}
-	addr := nr.addrs[nr.owner(key)]
-	if addr == "" || (nr.info.Version == r.info.Version && nr.owner(key) == owner) {
-		return err // nothing changed: don't hammer the same node again
-	}
-	return fn(cc.node(addr))
+	return &RouteError{Key: key, Hops: maxRouteHops, Last: last}
 }
 
 // --- routed v1 calls ------------------------------------------------------------

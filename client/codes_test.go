@@ -23,6 +23,7 @@ func TestCodeVocabularyMatchesServer(t *testing.T) {
 		CodeCorruption:      true,
 		CodeBatchTooLarge:   true,
 		CodeNotOwner:        true,
+		CodeUnavailable:     true,
 		CodeTimeout:         true,
 		CodeCanceled:        true,
 		CodeInternal:        true,

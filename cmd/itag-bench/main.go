@@ -9,12 +9,13 @@
 //	itag-bench -experiment s3,s4,s5,s6 -small -record   # CI bench smoke
 //	itag-bench -verify-gates BENCH_store.json BENCH_quality.json
 //
-// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s9 (systems:
+// Experiments: e1..e9 (paper anchors), a1..a3 (ablations), s3..s10 (systems:
 // store contention across shards, project-fleet pool, group-commit WAL
 // durability, interned quality hot path, ordered snapshot serving read
-// path, open-loop admission-control capacity), all. See the experiment index in docs/ARCHITECTURE.md.
+// path, open-loop admission-control capacity, quorum-cluster chaos drill),
+// all. See the experiment index in docs/ARCHITECTURE.md.
 //
-// Gated experiments (s3, s5, s6, s7, s8, s9) embed their acceptance ratios in the
+// Gated experiments (s3, s5, s6, s7, s8, s9, s10) embed their acceptance ratios in the
 // result; -record writes each gated result to its canonical BENCH_*.json
 // artifact, and any failing gate makes the run exit non-zero.
 // -verify-gates re-checks previously recorded artifacts without rerunning
@@ -32,41 +33,43 @@ import (
 )
 
 var experiments = map[string]func(bench.Sizes) (bench.Result, error){
-	"e1": bench.E1TableI,
-	"e2": bench.E2QualityVsBudget,
-	"e3": bench.E3VsOptimal,
-	"e4": bench.E4ThresholdSatisfaction,
-	"e5": bench.E5LowQualityReduction,
-	"e6": bench.E6MonitoringAndSwitch,
-	"e7": bench.E7ApprovalFiltering,
-	"e8": bench.E8PromoteStop,
-	"e9": bench.E9TraceReplay,
-	"a1": bench.A1StabilityWindow,
-	"a2": bench.A2SwitchPoint,
-	"a3": bench.A3BatchSize,
-	"s3": bench.S3StoreContention,
-	"s4": bench.S4ProjectFleet,
-	"s5": bench.S5StoreGroupCommit,
-	"s6": bench.S6QualityHotPath,
-	"s7": bench.S7ServingReadPath,
-	"s8": bench.S8Cluster,
-	"s9": bench.S9Capacity,
+	"e1":  bench.E1TableI,
+	"e2":  bench.E2QualityVsBudget,
+	"e3":  bench.E3VsOptimal,
+	"e4":  bench.E4ThresholdSatisfaction,
+	"e5":  bench.E5LowQualityReduction,
+	"e6":  bench.E6MonitoringAndSwitch,
+	"e7":  bench.E7ApprovalFiltering,
+	"e8":  bench.E8PromoteStop,
+	"e9":  bench.E9TraceReplay,
+	"a1":  bench.A1StabilityWindow,
+	"a2":  bench.A2SwitchPoint,
+	"a3":  bench.A3BatchSize,
+	"s3":  bench.S3StoreContention,
+	"s4":  bench.S4ProjectFleet,
+	"s5":  bench.S5StoreGroupCommit,
+	"s6":  bench.S6QualityHotPath,
+	"s7":  bench.S7ServingReadPath,
+	"s8":  bench.S8Cluster,
+	"s9":  bench.S9Capacity,
+	"s10": bench.S10Chaos,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6", "s7", "s8", "s9"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10"}
 
 // recordFiles maps gated experiments to their canonical committed artifact.
 var recordFiles = map[string]string{
-	"s3": "BENCH_contention.json",
-	"s5": "BENCH_store.json",
-	"s6": "BENCH_quality.json",
-	"s7": "BENCH_serving.json",
-	"s8": "BENCH_cluster.json",
-	"s9": "BENCH_capacity.json",
+	"s3":  "BENCH_contention.json",
+	"s5":  "BENCH_store.json",
+	"s6":  "BENCH_quality.json",
+	"s7":  "BENCH_serving.json",
+	"s8":  "BENCH_cluster.json",
+	"s9":  "BENCH_capacity.json",
+	"s10": "BENCH_chaos.json",
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s9, all)")
+	exp := flag.String("experiment", "all", "experiment id (e1..e9, a1..a3, s3..s10, all)")
 	n := flag.Int("n", 0, "number of resources (0 = default)")
 	budget := flag.Int("budget", 0, "task budget (0 = default)")
 	taggers := flag.Int("taggers", 0, "tagger pool size (0 = default)")

@@ -57,6 +57,18 @@
 //	itagd -addr :8081 -db data-a -cluster-slot alpha \
 //	      -cluster-ring alpha=http://localhost:8081,beta=http://localhost:8082,gamma=http://localhost:8083
 //
+// With -cluster-quorum a mutating request is acked only after the slot's
+// first follower confirms the pushed WAL frames are fsynced on its disk;
+// if confirmation takes longer than -cluster-quorum-timeout the ack
+// degrades to leader-only durability, stamped X-Itag-Quorum: degraded and
+// counted in itag_cluster_quorum_degraded_total.
+//
+// With -chaos-spec the process arms a deterministic fault-injection
+// schedule (network partitions, loss, latency, disk stalls, torn writes)
+// against itself — for drills and staging only. See internal/chaos for the
+// spec grammar. Without the flag the chaos layer is entirely absent from
+// the hot path.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, waits up to -grace for live simulation runs to drain, ends
 // open SSE streams, and flushes the store.
@@ -78,6 +90,7 @@ import (
 	"syscall"
 	"time"
 
+	"itag/internal/chaos"
 	"itag/internal/cluster"
 	"itag/internal/core"
 	"itag/internal/server"
@@ -121,8 +134,29 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	clusterReplicas := fs.Int("cluster-replicas", 2, "followers replicating each slot's WAL")
 	clusterPull := fs.Duration("cluster-pull-interval", 250*time.Millisecond, "idle poll period of the follower replication pullers")
 	clusterStaleness := fs.Uint64("cluster-staleness", 1024, "maximum replication lag (records) at which followers still serve opt-in reads")
+	clusterQuorum := fs.Bool("cluster-quorum", false, "hold mutating acks until the slot's follower confirms the write is fsynced (degrades to leader-only ack after -cluster-quorum-timeout)")
+	clusterQuorumTimeout := fs.Duration("cluster-quorum-timeout", 2*time.Second, "how long a quorum write waits for follower confirmation before degrading")
+	chaosSpec := fs.String("chaos-spec", "", `fault-injection schedule, e.g. "seed=42;after=5s,for=2s,partition,to=node-b;stall=50ms,host=*" (empty disables; see internal/chaos)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Chaos is armed before any store opens so disk faults cover recovery
+	// too. With no -chaos-spec the schedule stays nil: WrapListener returns
+	// the listener untouched and no failpoint hook is installed — the
+	// production path pays nothing.
+	var sched *chaos.Schedule
+	if *chaosSpec != "" {
+		var err error
+		sched, err = chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		release := sched.Engage()
+		defer release()
+		sched.Start()
+		logger.Printf("CHAOS ARMED: %d fault(s), seed %d — this process is intentionally unreliable (-chaos-spec %q)",
+			len(sched.Faults), sched.Seed, *chaosSpec)
 	}
 
 	storeOpts := store.Options{
@@ -152,19 +186,34 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 		if err != nil {
 			return err
 		}
-		node, err = cluster.New(cluster.Options{
+		nodeOpts := cluster.Options{
 			Slot: *clusterSlot, Ring: ring, Dir: *dbPath,
 			Store: storeOpts, Seed: *seed, Logger: logger,
 			Replicas: *clusterReplicas, PullInterval: *clusterPull,
 			StalenessBound: *clusterStaleness, RouteTimeout: *routeTimeout,
-		})
+			Quorum: *clusterQuorum, QuorumTimeout: *clusterQuorumTimeout,
+		}
+		if sched != nil {
+			// Inter-node traffic (pulls, pushes, ring fetches) flows through
+			// the same fault schedule as inbound API traffic; this node's
+			// identity in fault matching is its own ring address.
+			nodeOpts.HTTPClient = &http.Client{
+				Timeout:   30 * time.Second,
+				Transport: chaos.Wrap(http.DefaultTransport, sched, ring.Addr(*clusterSlot)),
+			}
+		}
+		node, err = cluster.New(nodeOpts)
 		if err != nil {
 			return fmt.Errorf("start cluster node: %w", err)
 		}
 		defer node.Close()
 		apiHandler, promHandler = node.Handler(), node.PromHandler()
-		logger.Printf("cluster node: slot %s of %d-member ring v%d (dir %s, replicas %d, staleness bound %d)",
-			*clusterSlot, len(ring.Members), ring.Version, *dbPath, *clusterReplicas, *clusterStaleness)
+		mode := "async pull"
+		if *clusterQuorum {
+			mode = fmt.Sprintf("quorum (ack timeout %s)", *clusterQuorumTimeout)
+		}
+		logger.Printf("cluster node: slot %s of %d-member ring v%d (dir %s, replicas %d, staleness bound %d, replication %s)",
+			*clusterSlot, len(ring.Members), ring.Version, *dbPath, *clusterReplicas, *clusterStaleness, mode)
 	} else {
 		switch {
 		case *dbPath == "" && *shards > 1:
@@ -219,6 +268,15 @@ func run(args []string, logger *log.Logger, ready func(apiAddr, debugAddr string
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	if sched != nil {
+		// Inbound faults apply at the accept edge; the node is addressed by
+		// its ring address in cluster mode, its listen address otherwise.
+		selfHost := *addr
+		if node != nil {
+			selfHost = node.Ring().Addr(*clusterSlot)
+		}
+		ln = chaos.WrapListener(ln, sched, selfHost)
 	}
 
 	// The debug listener is deliberately separate from the API listener so

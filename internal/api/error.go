@@ -35,6 +35,7 @@ const (
 	CodeCorruption      = "corruption"         // errs.CategoryCorruption: integrity check failed
 	CodeBatchTooLarge   = "batch_too_large"    // batch exceeds the per-call cap
 	CodeNotOwner        = "not_owner"          // key is owned by another cluster node (X-Itag-Owner names it)
+	CodeUnavailable     = "unavailable"        // node degraded/isolated; honor Retry-After
 	CodeTimeout         = "timeout"            // per-route deadline exceeded
 	CodeCanceled        = "canceled"           // client disconnected mid-request
 	CodeInternal        = "internal"           // panic or unexpected failure
@@ -67,6 +68,7 @@ func CodeTable() []CodeSpec {
 		{CodeExhausted, http.StatusConflict, errs.CategoryExhausted, "a budget or post source ran out"},
 		{CodeRateLimited, http.StatusTooManyRequests, errs.CategoryRateLimited, "load shed by admission control; retry after the Retry-After delay"},
 		{CodeNotOwner, http.StatusMisdirectedRequest, errs.CategoryConflict, "another cluster node owns this key; X-Itag-Owner names its address"},
+		{CodeUnavailable, http.StatusServiceUnavailable, errs.CategoryRateLimited, "node is isolated from its cluster peers; retry elsewhere after the Retry-After delay"},
 		{CodeIOFailure, http.StatusInternalServerError, errs.CategoryIO, "store disk or filesystem failure"},
 		{CodeCorruption, http.StatusInternalServerError, errs.CategoryCorruption, "stored data failed an integrity check"},
 		{CodeTimeout, http.StatusGatewayTimeout, errs.CategoryCanceled, "per-route deadline exceeded"},

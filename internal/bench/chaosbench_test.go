@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestS10ChaosDrill runs the full seeded chaos drill — partition, disk
+// stall, leader kill + promote against the quorum-mode cluster — and fails
+// on any robustness gate: acked-write loss, an unbounded operation, or a
+// degradation that never recovered. The drill is fixed-shape (its fault
+// windows are wall-clock, not size-scaled), so the small sizes assert the
+// same gates as the recorded BENCH_chaos.json artifact; `make chaos` runs
+// this under the race detector nightly.
+func TestS10ChaosDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill takes ~15s of wall-clock fault windows")
+	}
+	res, err := S10Chaos(SmallSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fail := range res.GateFailures() {
+		t.Error(fail)
+	}
+	if t.Failed() {
+		t.Log("\n" + res.Text())
+	}
+}

@@ -1,0 +1,261 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"itag/internal/store"
+)
+
+// fakeClock pins the schedule's notion of now so window tests are exact.
+type fakeClock struct{ at atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.at.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.at.Add(int64(d)) }
+
+func clocked(s *Schedule) *fakeClock {
+	c := &fakeClock{}
+	c.at.Store(1) // non-zero so Start() arms
+	s.now = c.now
+	return c
+}
+
+func TestScheduleWindows(t *testing.T) {
+	s := NewSchedule(1, Fault{Kind: KindPartition, From: "a", To: "b", After: 100 * time.Millisecond, For: 50 * time.Millisecond})
+	clk := clocked(s)
+
+	if v := s.Leg("a", "b"); v.Drop {
+		t.Fatal("disarmed schedule dropped traffic")
+	}
+	s.Start()
+	if v := s.Leg("a", "b"); v.Drop {
+		t.Fatal("fault active before its window")
+	}
+	clk.advance(120 * time.Millisecond)
+	if v := s.Leg("a", "b"); !v.Drop || !v.Unreachable {
+		t.Fatalf("want partition drop inside window, got %+v", v)
+	}
+	if v := s.Leg("b", "a"); !v.Drop {
+		t.Fatal("two-way partition did not drop the reverse leg")
+	}
+	if v := s.Leg("a", "c"); v.Drop {
+		t.Fatal("partition leaked onto an unmatched host")
+	}
+	clk.advance(60 * time.Millisecond)
+	if v := s.Leg("a", "b"); v.Drop {
+		t.Fatal("fault still active after its window")
+	}
+	s.Stop()
+	clk.advance(-60 * time.Millisecond)
+	if v := s.Leg("a", "b"); v.Drop {
+		t.Fatal("stopped schedule dropped traffic")
+	}
+}
+
+func TestOneWayPartitionAndHostMatching(t *testing.T) {
+	s := NewSchedule(1, Fault{Kind: KindPartition, From: "http://a", To: "b", OneWay: true})
+	clocked(s)
+	s.Start()
+	if v := s.Leg("a", "b"); !v.Drop {
+		t.Fatal("one-way partition did not drop the forward leg (scheme-insensitive match)")
+	}
+	if v := s.Leg("b", "a"); v.Drop {
+		t.Fatal("one-way partition dropped the reverse leg")
+	}
+}
+
+func TestLossDeterministicAndSeeded(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := NewSchedule(seed, Fault{Kind: KindLoss, From: "a", To: "*", P: 0.5})
+		clocked(s)
+		s.Start()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Leg("a", "b").Drop
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("p=0.5 loss dropped %d/%d — not probabilistic", drops, len(a))
+	}
+}
+
+func TestLatencyAccumulates(t *testing.T) {
+	s := NewSchedule(1,
+		Fault{Kind: KindLatency, To: "b", Delay: 10 * time.Millisecond},
+		Fault{Kind: KindLatency, From: "a", Delay: 5 * time.Millisecond},
+	)
+	clocked(s)
+	s.Start()
+	if got := s.Leg("a", "b").Delay; got != 15*time.Millisecond {
+		t.Fatalf("want accumulated 15ms delay, got %v", got)
+	}
+}
+
+// recordTransport notes whether the inner round trip ran.
+type recordTransport struct{ calls atomic.Int64 }
+
+func (rt *recordTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.calls.Add(1)
+	rec := httptest.NewRecorder()
+	rec.WriteString("ok")
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+func TestTransportLegs(t *testing.T) {
+	newReq := func() *http.Request {
+		req, _ := http.NewRequest(http.MethodGet, "http://b/x", nil)
+		return req
+	}
+
+	t.Run("partition fails before dispatch", func(t *testing.T) {
+		inner := &recordTransport{}
+		s := NewSchedule(1, Fault{Kind: KindPartition, From: "a", To: "b"})
+		clocked(s)
+		s.Start()
+		_, err := Wrap(inner, s, "a").RoundTrip(newReq())
+		if !errors.Is(err, syscall.EHOSTUNREACH) {
+			t.Fatalf("want EHOSTUNREACH, got %v", err)
+		}
+		if inner.calls.Load() != 0 {
+			t.Fatal("partitioned request reached the inner transport")
+		}
+	})
+
+	t.Run("response-leg loss runs the handler then loses the reply", func(t *testing.T) {
+		inner := &recordTransport{}
+		s := NewSchedule(1, Fault{Kind: KindLoss, From: "b", To: "a", P: 1})
+		clocked(s)
+		s.Start()
+		_, err := Wrap(inner, s, "a").RoundTrip(newReq())
+		var op *net.OpError
+		if !errors.As(err, &op) || op.Op != "read" {
+			t.Fatalf("want read-side reset, got %v", err)
+		}
+		if inner.calls.Load() != 1 {
+			t.Fatal("response-leg loss must execute the request first")
+		}
+	})
+
+	t.Run("disarmed schedule is a passthrough", func(t *testing.T) {
+		inner := &recordTransport{}
+		s := NewSchedule(1, Fault{Kind: KindPartition, From: "a", To: "b"})
+		resp, err := Wrap(inner, s, "a").RoundTrip(newReq())
+		if err != nil {
+			t.Fatalf("passthrough failed: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if string(body) != "ok" {
+			t.Fatalf("unexpected body %q", body)
+		}
+	})
+}
+
+func TestDiskFaultsThroughGlobalFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	// Group-commit mode: the WAL failpoint sites live on the batch writer
+	// path (commitSync, the pre-group-commit baseline, has none).
+	db, err := store.Open(dir+"/node-a.wal", store.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	s := NewSchedule(1,
+		Fault{Kind: KindDiskStall, Host: "node-a", Delay: 30 * time.Millisecond, After: 0, For: 0},
+	)
+	clocked(s)
+	release := s.Engage()
+	defer release()
+
+	put := func() error { return db.Put("t", "k", 1) }
+	if err := put(); err != nil {
+		t.Fatalf("write with disarmed schedule: %v", err)
+	}
+	s.Start()
+	t0 := time.Now()
+	if err := put(); err != nil {
+		t.Fatalf("stalled write failed: %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("stall not applied: write took %v", d)
+	}
+
+	// Swap in a torn-write fault: the next append dies mid-batch and the
+	// store goes sticky-crashed, exactly like the per-DB failpoint.
+	s.Faults = []Fault{{Kind: KindTornWrite, Host: "node-a"}}
+	if err := put(); !errors.Is(err, store.ErrCrashed) {
+		t.Fatalf("want ErrCrashed from torn write, got %v", err)
+	}
+	s.Stop()
+
+	// Other stores are untouched by a host-scoped fault.
+	db2, err := store.Open(dir+"/node-b.wal", store.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s.Start()
+	if err := db2.Put("t", "k", 1); err != nil {
+		t.Fatalf("host-scoped fault leaked to another store: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("seed=42;after=5s,for=2s,partition,from=*,to=node-b;latency=30ms,to=node-c;loss=0.25,from=node-a,oneway;stall=100ms,host=node-a,site=append:mid-batch;torn-write,host=node-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 {
+		t.Fatalf("seed = %d", s.Seed)
+	}
+	if len(s.Faults) != 5 {
+		t.Fatalf("want 5 faults, got %d", len(s.Faults))
+	}
+	want := []Kind{KindPartition, KindLatency, KindLoss, KindDiskStall, KindTornWrite}
+	for i, k := range want {
+		if s.Faults[i].Kind != k {
+			t.Fatalf("fault %d kind = %v, want %v", i, s.Faults[i].Kind, k)
+		}
+	}
+	if f := s.Faults[0]; f.After != 5*time.Second || f.For != 2*time.Second || f.To != "node-b" {
+		t.Fatalf("partition clause parsed wrong: %+v", f)
+	}
+	if f := s.Faults[3]; f.Site != store.FailAppendMid || f.Delay != 100*time.Millisecond {
+		t.Fatalf("stall clause parsed wrong: %+v", f)
+	}
+
+	for _, bad := range []string{
+		"",
+		"seed=7",
+		"loss=1.5,from=a",
+		"latency=fast",
+		"after=1s",
+		"bogus=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

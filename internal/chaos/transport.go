@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// Transport injects the schedule's network faults around an inner
+// http.RoundTripper. One Transport represents one side of the network: From
+// is the identity of the node (or client) whose outbound traffic it
+// carries, and each request evaluates two legs — the request leg
+// From→URL.Host and the response leg URL.Host→From — so one-way loss and
+// asymmetric partitions behave like they would on a real wire. With a nil
+// or disarmed schedule every request passes straight through.
+type Transport struct {
+	Inner http.RoundTripper
+	Sched *Schedule
+	// From identifies this side in fault matching ("" matches only
+	// wildcard faults).
+	From string
+}
+
+// Wrap returns inner wrapped with the schedule's faults for traffic
+// originating at from.
+func Wrap(inner http.RoundTripper, s *Schedule, from string) *Transport {
+	return &Transport{Inner: inner, Sched: s, From: from}
+}
+
+var (
+	errUnreachable = &net.OpError{Op: "dial", Net: "tcp", Err: syscall.EHOSTUNREACH}
+	errReqLost     = &net.OpError{Op: "write", Net: "tcp", Err: syscall.ECONNRESET}
+	errRespLost    = &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+)
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := t.Sched
+	if !s.Active() {
+		return t.Inner.RoundTrip(req)
+	}
+	to := req.URL.Host
+
+	reqLeg := s.Leg(t.From, to)
+	if reqLeg.Delay > 0 {
+		if err := sleepCtx(req.Context(), reqLeg.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if reqLeg.Drop {
+		if reqLeg.Unreachable {
+			return nil, errUnreachable
+		}
+		return nil, errReqLost
+	}
+
+	resp, err := t.Inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// The response leg is evaluated after the handler ran: a dropped
+	// response means the work happened but the caller never learns — the
+	// window quorum mode exists to survive.
+	respLeg := s.Leg(to, t.From)
+	if respLeg.Delay > 0 {
+		if err := sleepCtx(req.Context(), respLeg.Delay); err != nil {
+			resp.Body.Close()
+			return nil, err
+		}
+	}
+	if respLeg.Drop {
+		resp.Body.Close()
+		if respLeg.Unreachable {
+			return nil, errUnreachable
+		}
+		return nil, errRespLost
+	}
+	return resp, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tm.C:
+		return nil
+	}
+}
+
+// listener applies inbound faults at the accept edge for real TCP
+// deployments (itagd -chaos-spec): connections arriving while a partition
+// involving this host is active are closed immediately, and inbound latency
+// faults delay the hand-off to the HTTP server.
+type listener struct {
+	net.Listener
+	sched *Schedule
+	host  string
+}
+
+// WrapListener wraps ln with the schedule's inbound faults for the node
+// advertised as host. A nil schedule returns ln unchanged.
+func WrapListener(ln net.Listener, s *Schedule, host string) net.Listener {
+	if s == nil {
+		return ln
+	}
+	return &listener{Listener: ln, sched: s, host: host}
+}
+
+// Accept implements net.Listener. The remote identity of an inbound TCP
+// connection is unknown until the request arrives, so accept-edge faults
+// match the wildcard source: a partition "*"→host refuses every inbound
+// connection, a latency fault "*"→host delays each accept hand-off.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil || !l.sched.Active() {
+			return c, err
+		}
+		v := l.sched.Leg("*", l.host)
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		if v.Drop {
+			_ = c.Close()
+			continue
+		}
+		return c, nil
+	}
+}

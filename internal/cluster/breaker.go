@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Per-peer circuit breakers and the shared retry/backoff schedule for
+// inter-node calls (replication pulls and pushes, ring propagation). The
+// breaker is a plain consecutive-failure design: Threshold straight
+// failures open it for Cooldown, during which every call is refused
+// locally instead of burning a timeout against a node that is down or
+// partitioned away; after the cooldown one probe is let through
+// (half-open) and its outcome closes or re-opens the circuit.
+
+// breakerThreshold and breakerCooldown are the node-side defaults
+// (Options can override the cooldown indirectly through PullMaxBackoff;
+// the threshold is fixed — three straight failures is already several
+// seconds of evidence under the pull/push retry cadence).
+const (
+	breakerThreshold = 3
+	breakerCooldown  = 2 * time.Second
+)
+
+// breaker is one peer's circuit state. The zero value is a closed circuit.
+type breaker struct {
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool // half-open: one probe in flight
+	opens     uint64
+}
+
+// allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then admits exactly one probe.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() || now.After(b.openUntil) {
+		if !b.openUntil.IsZero() {
+			if b.probing {
+				return false
+			}
+			b.probing = true
+		}
+		return true
+	}
+	return false
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails, b.openUntil, b.probing = 0, time.Time{}, false
+	b.mu.Unlock()
+}
+
+// failure records one failed call and reports whether it opened (or
+// re-opened) the circuit.
+func (b *breaker) failure(now time.Time, threshold int, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.fails < threshold && b.openUntil.IsZero() {
+		return false
+	}
+	b.openUntil = now.Add(cooldown)
+	b.opens++
+	return true
+}
+
+// open reports whether the circuit is currently refusing calls.
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && now.Before(b.openUntil)
+}
+
+// peerSet tracks one breaker per peer address.
+type peerSet struct {
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func (p *peerSet) get(addr string) *breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[string]*breaker)
+	}
+	b := p.m[addr]
+	if b == nil {
+		b = &breaker{}
+		p.m[addr] = b
+	}
+	return b
+}
+
+// snapshot returns the open/total breaker counts and total opens (for
+// health classification and metrics).
+func (p *peerSet) snapshot(now time.Time) (open, total int, opens uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, b := range p.m {
+		total++
+		b.mu.Lock()
+		opens += b.opens
+		if !b.openUntil.IsZero() && now.Before(b.openUntil) {
+			open++
+		}
+		b.mu.Unlock()
+	}
+	return open, total, opens
+}
+
+// backoffFor is the shared inter-node retry schedule: capped exponential
+// growth from base, so streak 0 retries at base and a long outage settles
+// at max instead of hammering a dead peer at the base interval forever.
+// The curve is pure (jitter is applied separately) so tests can pin it.
+func backoffFor(base, max time.Duration, streak int) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 0; i < streak; i++ {
+		if d >= max/2 {
+			return max
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// jitter spreads a backoff over [0.5d, 1.5d) so a fleet of followers that
+// failed together does not retry in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sort"
+	"time"
 
 	"itag/internal/api"
 )
@@ -13,6 +14,8 @@ import (
 // lag gauge is what the staleness bound on follower reads is measured
 // against.
 func (n *Node) Families() []api.Family {
+	health := n.Health() // before n.mu: Health takes its own RLock
+	breakerOpen, breakerTotal, breakerOpens := n.peers.snapshot(time.Now())
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 
@@ -37,9 +40,15 @@ func (n *Node) Families() []api.Family {
 	}
 	sort.Strings(replicaSlots)
 
-	var leaderApplied []api.Sample
+	var leaderApplied, pushes, pushBytes, confirmed []api.Sample
 	for _, slot := range leaderSlots {
-		leaderApplied = append(leaderApplied, slotSample(slot, float64(n.leaders[slot].db.AppliedSeq())))
+		b := n.leaders[slot]
+		leaderApplied = append(leaderApplied, slotSample(slot, float64(b.db.AppliedSeq())))
+		if b.push != nil {
+			pushes = append(pushes, slotSample(slot, float64(b.push.pushes.Load())))
+			pushBytes = append(pushBytes, slotSample(slot, float64(b.push.pushBytes.Load())))
+			confirmed = append(confirmed, slotSample(slot, float64(b.push.confirmed.Load())))
+		}
 	}
 	var repApplied, repLeader, repLag, pulls, pullBytes, pullErrs []api.Sample
 	for _, slot := range replicaSlots {
@@ -75,6 +84,27 @@ func (n *Node) Families() []api.Family {
 			[]api.Sample{{Value: float64(n.followerReads.Load())}}),
 		counter("itag_cluster_ring_conflicts_total", "Same-version ring pushes with diverging content (concurrent promotions resolved by tiebreak).",
 			[]api.Sample{{Value: float64(n.ringConflicts.Load())}}),
+		gauge("itag_cluster_health_state", "Node health on the degradation ladder: 0 healthy, 1 degraded, 2 isolated.",
+			[]api.Sample{{Value: healthValue(health)}}),
+		counter("itag_cluster_quorum_degraded_total", "Quorum-mode writes acked leader-only because the follower confirmation timed out.",
+			[]api.Sample{{Value: float64(n.quorumDegraded.Load())}}),
+		counter("itag_cluster_demotions_total", "Led slots surrendered to a newer ring (deposed leader stepped down).",
+			[]api.Sample{{Value: float64(n.demotions.Load())}}),
+		counter("itag_cluster_follower_read_fallbacks_total", "Follower reads refused for staleness and redirected to the leader.",
+			[]api.Sample{{Value: float64(n.followerFallbacks.Load())}}),
+		gauge("itag_cluster_peer_breaker_open", "Peers whose circuit breaker is currently open, of the peers contacted so far.",
+			[]api.Sample{{Value: float64(breakerOpen)}}),
+		gauge("itag_cluster_peers_tracked", "Peers with circuit-breaker state on this node.",
+			[]api.Sample{{Value: float64(breakerTotal)}}),
+		counter("itag_cluster_peer_breaker_opens_total", "Circuit-breaker open transitions across all peers.",
+			[]api.Sample{{Value: float64(breakerOpens)}}),
+	}
+	if len(pushes) > 0 {
+		fams = append(fams,
+			counter("itag_cluster_pushes_total", "Quorum replication push rounds per led slot.", pushes),
+			counter("itag_cluster_push_bytes_total", "WAL bytes pushed to followers per led slot.", pushBytes),
+			gauge("itag_cluster_quorum_confirmed_seq", "Follower-confirmed WAL sequence per led slot (the quorum watermark).", confirmed),
+		)
 	}
 	if len(repApplied) > 0 {
 		fams = append(fams,

@@ -59,6 +59,19 @@ type Options struct {
 	HTTPClient *http.Client
 	// RouteTimeout is passed through to the embedded API servers.
 	RouteTimeout time.Duration
+	// Quorum holds every mutating ack until the slot's first follower
+	// confirms the write is fsynced on its disk (push replication). Off,
+	// acks are leader-durable only and followers catch up by pulling.
+	Quorum bool
+	// QuorumTimeout bounds how long an ack is held before degrading to a
+	// leader-only ack (default 2s). Degrades are logged, counted in
+	// itag_cluster_quorum_degraded_total, and stamped on the response as
+	// X-Itag-Quorum: degraded.
+	QuorumTimeout time.Duration
+	// PullMaxBackoff caps the error backoff of the pull and push loops
+	// (default 15s): a dead leader is probed on a capped jittered
+	// exponential schedule instead of being hammered at PullInterval.
+	PullMaxBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +86,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StalenessBound == 0 {
 		o.StalenessBound = 1024
+	}
+	if o.QuorumTimeout <= 0 {
+		o.QuorumTimeout = 2 * time.Second
+	}
+	if o.PullMaxBackoff <= 0 {
+		o.PullMaxBackoff = 15 * time.Second
 	}
 	if o.HTTPClient == nil {
 		o.HTTPClient = &http.Client{Timeout: 30 * time.Second}
@@ -95,6 +114,7 @@ type backend struct {
 	db   *store.DB
 	svc  *core.Service
 	srv  *server.Server
+	push *pusher // quorum mode only; nil otherwise
 }
 
 // replica is one slot this node follows: the replica store fed by the
@@ -111,8 +131,35 @@ type replica struct {
 	leaderSeq atomic.Uint64 // leader's applied seq as of the last pull
 	pulls     atomic.Uint64
 	pullBytes atomic.Uint64
+	// pushed counts shipments applied from the leader's push path (quorum
+	// mode); pulls counts the poll rounds this replica initiated itself.
+	pushed      atomic.Uint64
+	pushedBytes atomic.Uint64
+	// stale is the follower-read staleness breaker: it trips when lag
+	// exceeds the staleness bound and resets only once lag falls back
+	// under half the bound, so reads don't flap at the boundary.
+	stale     atomic.Bool
 	errMu     sync.Mutex
 	errCounts map[string]uint64
+}
+
+// readAllowed is the staleness breaker's verdict for one follower read.
+// bound/2 hysteresis: once tripped, the replica must genuinely catch up —
+// not just wobble one record under the limit — before serving reads again.
+func (rep *replica) readAllowed(bound uint64) bool {
+	lag := rep.lag()
+	if rep.stale.Load() {
+		if lag <= bound/2 {
+			rep.stale.Store(false)
+			return true
+		}
+		return false
+	}
+	if lag > bound {
+		rep.stale.Store(true)
+		return false
+	}
+	return true
 }
 
 func (rep *replica) countErr(err error) {
@@ -153,11 +200,26 @@ type Node struct {
 	ring     *Ring
 	leaders  map[string]*backend
 	replicas map[string]*replica
+	// demoting marks slots whose deposed backend is still tearing down;
+	// syncFollowersLocked must not re-follow them until the old WAL is
+	// closed and parked (a promoted leader's WAL lives at the replica
+	// path, so an early re-follow would reopen the deposed layout).
+	demoting map[string]bool
 	closed   bool
 
 	notOwner      atomic.Uint64
 	followerReads atomic.Uint64
 	ringConflicts atomic.Uint64
+
+	// Robustness state (PR 10): per-peer circuit breakers, quorum degrade
+	// accounting, demotions, staleness-breaker fallbacks, and the
+	// anti-entropy ring-fetch guard.
+	peers             peerSet
+	quorumDegraded    atomic.Uint64
+	lastDegraded      atomic.Int64 // unixnano of the last quorum degrade
+	demotions         atomic.Uint64
+	followerFallbacks atomic.Uint64
+	ringFetch         atomic.Bool
 
 	handler http.Handler
 	wg      sync.WaitGroup
@@ -197,6 +259,7 @@ func New(opts Options) (*Node, error) {
 		ring:     opts.Ring,
 		leaders:  make(map[string]*backend),
 		replicas: make(map[string]*replica),
+		demoting: make(map[string]bool),
 	}
 
 	// A node leads every ring slot mapped to its address, not just the one
@@ -229,11 +292,16 @@ func New(opts Options) (*Node, error) {
 	mux.HandleFunc("POST /api/v1/cluster/ring", n.handleRingPost)
 	mux.HandleFunc("GET /api/v1/cluster/status", n.handleStatus)
 	mux.HandleFunc("GET /api/v1/cluster/wal", n.handleWAL)
+	mux.HandleFunc("POST /api/v1/cluster/replicate", n.handleReplicate)
 	mux.HandleFunc("POST /api/v1/cluster/promote", n.handlePromote)
+	mux.HandleFunc("GET /api/v1/healthz", n.handleHealthz)
 	mux.HandleFunc("/", n.routeKey)
 	n.handler = mux
 
 	n.mu.Lock()
+	for _, b := range n.leaders {
+		n.startPusherLocked(b)
+	}
 	n.syncFollowersLocked()
 	n.mu.Unlock()
 	return n, nil
@@ -282,11 +350,27 @@ func (n *Node) Handler() http.Handler { return n.handler }
 
 // PromHandler exposes the led slot's metrics (route histograms, store
 // durability counters, and — through the ExtraFamilies hook — the cluster
-// replication families).
+// replication families). The backend is resolved per scrape: after a
+// demotion of the boot slot the scrape falls back to any remaining led
+// slot, and a node that leads nothing still serves the cluster families.
 func (n *Node) PromHandler() http.Handler {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.leaders[n.slot].srv.PromHandler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.mu.RLock()
+		b := n.leaders[n.slot]
+		if b == nil {
+			for _, other := range n.leaders {
+				b = other
+				break
+			}
+		}
+		n.mu.RUnlock()
+		if b != nil {
+			b.srv.PromHandler().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = api.WriteExposition(w, n.Families())
+	})
 }
 
 // Ring returns the node's current routing table.
@@ -379,17 +463,25 @@ func (n *Node) routeKey(w http.ResponseWriter, r *http.Request) {
 	n.mu.RUnlock()
 
 	if b != nil {
+		if n.opts.Quorum && mutating(r.Method) {
+			n.serveQuorum(b, w, r)
+			return
+		}
 		b.srv.ServeHTTP(w, r)
 		return
 	}
 	owner := ring.Owner(key)
 	if rep != nil && r.Method == http.MethodGet && r.Header.Get(HeaderRead) == ReadFollower {
-		if rep.lag() <= n.opts.StalenessBound {
+		if rep.readAllowed(n.opts.StalenessBound) {
 			n.followerReads.Add(1)
 			w.Header().Set(HeaderServedBy, n.slot)
 			rep.srv.ServeHTTP(w, r)
 			return
 		}
+		// Staleness breaker tripped: fall through to the 421 redirect so
+		// the SDK retries the read on the leader instead of serving stale
+		// data (counted so the degradation is visible).
+		n.followerFallbacks.Add(1)
 	}
 	n.notOwner.Add(1)
 	w.Header().Set(HeaderOwner, ring.Addr(owner))
@@ -418,6 +510,19 @@ const (
 	HeaderFormat   = "X-Itag-Format"
 	FormatFrames   = "frames"
 	FormatSnapshot = "snapshot"
+	// HeaderQuorum reports the ack's durability on mutating responses in
+	// quorum mode: QuorumOK (follower fsync confirmed) or QuorumDegraded
+	// (timed out, leader-only ack).
+	HeaderQuorum   = "X-Itag-Quorum"
+	QuorumOK       = "ok"
+	QuorumDegraded = "degraded"
+	// HeaderRingVersion advertises the sender's ring version on
+	// replication traffic; a receiver with an older ring fetches the new
+	// one (how a deposed leader learns of its demotion after a partition
+	// heals).
+	HeaderRingVersion = "X-Itag-Ring-Version"
+	// HeaderFrom names the pushing node's address on replicate requests.
+	HeaderFrom = "X-Itag-From"
 )
 
 // mapClusterErr maps store/core taxonomy errors on the cluster control
@@ -488,8 +593,74 @@ func (n *Node) installRing(ring *Ring) bool {
 	}
 	n.ring = ring
 	n.logger.Printf("cluster %s: installed ring v%d", n.slot, ring.Version)
+	n.demoteDeposedLocked()
 	n.syncFollowersLocked()
 	return true
+}
+
+// demoteDeposedLocked steps this node down from every led slot the new
+// ring assigns elsewhere — the flip side of promotion, reached when an
+// isolated leader learns (via ring push or replication anti-entropy) that
+// a follower was promoted over it. The deposed backend's WAL, which may
+// hold a tail of writes no follower ever confirmed, is parked under a
+// .demoted-v<N> rename: those records must never resurrect through a
+// later re-follow or re-promotion, and parking (rather than deleting)
+// keeps them auditable. syncFollowersLocked then re-follows the slot from
+// scratch against the new leader. Caller holds n.mu.
+func (n *Node) demoteDeposedLocked() {
+	for slot, b := range n.leaders {
+		if n.ring.Addr(slot) == n.addr {
+			continue
+		}
+		delete(n.leaders, slot)
+		n.demoting[slot] = true
+		n.demotions.Add(1)
+		n.logger.Printf("cluster %s: demoted from slot %s by ring v%d (new leader %s); unreplicated tail parked",
+			n.slot, slot, n.ring.Version, n.ring.Addr(slot))
+		version := n.ring.Version
+		if b.push != nil {
+			b.push.cancel()
+		}
+		n.wg.Add(1)
+		go func(b *backend, slot string) {
+			defer n.wg.Done()
+			if b.push != nil {
+				<-b.push.done
+			}
+			b.svc.Close()
+			_ = b.db.Close()
+			if err := parkWAL(b.db.Path(), version); err != nil {
+				n.logger.Printf("cluster %s: park deposed WAL for %s: %v", n.slot, b.slot, err)
+			}
+			n.mu.Lock()
+			delete(n.demoting, slot)
+			if !n.closed {
+				n.syncFollowersLocked() // now safe to re-follow the slot
+			}
+			n.mu.Unlock()
+		}(b, slot)
+	}
+}
+
+// parkWAL renames every file of a WAL layout (legacy file, snapshot,
+// segments) from <path>* to <path>.demoted-v<N>*, moving it out of the
+// globs Open and listSegments use while keeping the bytes for inspection.
+func parkWAL(path string, ringVersion uint64) error {
+	matches, err := filepath.Glob(path + "*")
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, m := range matches {
+		if strings.Contains(m, ".demoted-v") {
+			continue
+		}
+		dst := path + fmt.Sprintf(".demoted-v%d", ringVersion) + strings.TrimPrefix(m, path)
+		if err := os.Rename(m, dst); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // slotStatus is one slot's view in the status report.
@@ -499,16 +670,23 @@ type slotStatus struct {
 	AppliedSeq uint64 `json:"applied_seq"`
 	LeaderSeq  uint64 `json:"leader_seq,omitempty"`
 	Lag        uint64 `json:"lag,omitempty"`
+	// ConfirmedSeq is the quorum pusher's follower-confirmed watermark
+	// (leaders in quorum mode only).
+	ConfirmedSeq uint64 `json:"confirmed_seq,omitempty"`
 }
 
 type statusResp struct {
-	Slot          string       `json:"slot"`
-	Addr          string       `json:"addr"`
-	RingVersion   uint64       `json:"ring_version"`
-	Slots         []slotStatus `json:"slots"`
-	NotOwner      uint64       `json:"not_owner_total"`
-	FollowerReads uint64       `json:"follower_reads_total"`
-	RingConflicts uint64       `json:"ring_conflicts_total,omitempty"`
+	Slot              string       `json:"slot"`
+	Addr              string       `json:"addr"`
+	RingVersion       uint64       `json:"ring_version"`
+	Health            string       `json:"health"`
+	Slots             []slotStatus `json:"slots"`
+	NotOwner          uint64       `json:"not_owner_total"`
+	FollowerReads     uint64       `json:"follower_reads_total"`
+	RingConflicts     uint64       `json:"ring_conflicts_total,omitempty"`
+	QuorumDegraded    uint64       `json:"quorum_degraded_total,omitempty"`
+	Demotions         uint64       `json:"demotions_total,omitempty"`
+	FollowerFallbacks uint64       `json:"follower_read_fallbacks_total,omitempty"`
 }
 
 // handleStatus reports the node's replication posture; the drill and the
@@ -519,18 +697,27 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // Status snapshots the node's role and watermark for every slot it hosts.
 func (n *Node) Status() statusResp {
+	health := n.Health() // before n.mu: Health takes its own RLock
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	resp := statusResp{
-		Slot:          n.slot,
-		Addr:          n.addr,
-		RingVersion:   n.ring.Version,
-		NotOwner:      n.notOwner.Load(),
-		FollowerReads: n.followerReads.Load(),
-		RingConflicts: n.ringConflicts.Load(),
+		Slot:              n.slot,
+		Addr:              n.addr,
+		RingVersion:       n.ring.Version,
+		Health:            health,
+		NotOwner:          n.notOwner.Load(),
+		FollowerReads:     n.followerReads.Load(),
+		RingConflicts:     n.ringConflicts.Load(),
+		QuorumDegraded:    n.quorumDegraded.Load(),
+		Demotions:         n.demotions.Load(),
+		FollowerFallbacks: n.followerFallbacks.Load(),
 	}
 	for slot, b := range n.leaders {
-		resp.Slots = append(resp.Slots, slotStatus{Slot: slot, Role: "leader", AppliedSeq: b.db.AppliedSeq()})
+		st := slotStatus{Slot: slot, Role: "leader", AppliedSeq: b.db.AppliedSeq()}
+		if b.push != nil {
+			st.ConfirmedSeq = b.push.confirmed.Load()
+		}
+		resp.Slots = append(resp.Slots, st)
 	}
 	for slot, rep := range n.replicas {
 		resp.Slots = append(resp.Slots, slotStatus{
@@ -588,6 +775,9 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set(HeaderAppliedSeq, strconv.FormatUint(b.db.AppliedSeq(), 10))
+	n.mu.RLock()
+	w.Header().Set(HeaderRingVersion, strconv.FormatUint(n.ring.Version, 10))
+	n.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	data, last, err := b.db.ReplTail(from, maxBytes)
 	switch {
@@ -688,6 +878,7 @@ func (n *Node) Promote(ctx context.Context, slot string) error {
 		return errs.New(errs.ComponentStore, errs.CategoryValidation, "node is closed")
 	}
 	n.leaders[slot] = b
+	n.startPusherLocked(b)
 	ring := n.ring.Clone()
 	ring.Version++
 	for i := range ring.Members {
@@ -726,28 +917,50 @@ func (n *Node) refollow(slot string) {
 }
 
 // pushRing best-effort-propagates a new ring to every other member; nodes
-// that are down catch up from peers on their next poll or restart.
+// that are down catch up from peers (ring pushes, or the ring-version
+// headers on replication traffic) once reachable again. Each member gets a
+// couple of attempts on the capped jittered backoff schedule, through its
+// circuit breaker so a partitioned member fails fast.
 func (n *Node) pushRing(ctx context.Context, ring *Ring) {
 	body, err := json.Marshal(ring)
 	if err != nil {
 		return
 	}
+	addrs := make(map[string]bool)
 	for _, m := range ring.Members {
-		if m.Addr == n.addr {
-			continue
+		if m.Addr != n.addr {
+			addrs[m.Addr] = true
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			m.Addr+"/api/v1/cluster/ring", strings.NewReader(string(body)))
-		if err != nil {
-			continue
+	}
+	for addr := range addrs {
+		var lastErr error
+		for attempt := 0; attempt < 2; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(jitter(backoffFor(100*time.Millisecond, time.Second, attempt-1))):
+				}
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				addr+"/api/v1/cluster/ring", strings.NewReader(string(body)))
+			if err != nil {
+				lastErr = err
+				break
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := n.peerDo(req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			resp.Body.Close()
+			lastErr = nil
+			break
 		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := n.httpc.Do(req)
-		if err != nil {
-			n.logger.Printf("cluster %s: push ring v%d to %s: %v", n.slot, ring.Version, m.Addr, err)
-			continue
+		if lastErr != nil {
+			n.logger.Printf("cluster %s: push ring v%d to %s: %v", n.slot, ring.Version, addr, lastErr)
 		}
-		resp.Body.Close()
 	}
 }
 
@@ -760,6 +973,9 @@ func (n *Node) syncFollowersLocked() {
 	for _, m := range n.ring.Members {
 		if _, led := n.leaders[m.Slot]; led {
 			continue
+		}
+		if n.demoting[m.Slot] {
+			continue // deposed WAL still tearing down; re-follow after
 		}
 		for _, f := range n.ring.Followers(m.Slot, n.opts.Replicas) {
 			if _, led := n.leaders[f]; led {
@@ -849,6 +1065,11 @@ func (n *Node) Close() error {
 
 	for _, rep := range replicas {
 		rep.cancel()
+	}
+	for _, b := range leaders {
+		if b.push != nil {
+			b.push.cancel()
+		}
 	}
 	n.wg.Wait()
 	var firstErr error

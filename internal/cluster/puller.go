@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,26 +32,42 @@ import (
 const maxBodyBytes = 1 << 30
 
 // pullLoop drives one followed slot until ctx ends. Rounds that made
-// progress loop immediately (catch-up); idle or failing rounds wait out
-// the poll interval.
+// progress loop immediately (catch-up); idle rounds wait out the poll
+// interval; failing rounds back off on the capped jittered exponential
+// schedule (backoffFor), so a dead or partitioned leader is probed ever
+// more gently instead of being hammered at the pull interval forever. One
+// good round resets the schedule.
 func (n *Node) pullLoop(ctx context.Context, rep *replica) {
 	defer n.wg.Done()
 	defer close(rep.done)
-	ticker := time.NewTicker(n.opts.PullInterval)
-	defer ticker.Stop()
+	streak := 0
 	for {
 		progressed, err := n.pullOnce(ctx, rep)
-		if err != nil && ctx.Err() == nil {
-			rep.countErr(err)
-			n.logger.Printf("cluster %s: pull %s: %v", n.slot, rep.slot, err)
+		if ctx.Err() != nil {
+			return
 		}
-		if progressed && ctx.Err() == nil {
-			continue
+		if err != nil {
+			streak++
+			if !errors.Is(err, errPeerOpen) {
+				rep.countErr(err)
+				n.logger.Printf("cluster %s: pull %s: %v", n.slot, rep.slot, err)
+			}
+		} else {
+			streak = 0
+			if progressed {
+				continue
+			}
 		}
+		wait := n.opts.PullInterval
+		if streak > 0 {
+			wait = jitter(backoffFor(n.opts.PullInterval, n.opts.PullMaxBackoff, streak-1))
+		}
+		timer := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 	}
 }
@@ -71,11 +88,12 @@ func (n *Node) pullOnce(ctx context.Context, rep *replica) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	resp, err := n.httpc.Do(req)
+	resp, err := n.peerDo(req)
 	if err != nil {
 		return false, err
 	}
 	defer resp.Body.Close()
+	n.noteRingVersion(resp.Header.Get(HeaderRingVersion), addr)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return false, fmt.Errorf("leader %s: %s: %s", addr, resp.Status, body)
@@ -106,6 +124,13 @@ func (n *Node) pullOnce(ctx context.Context, rep *replica) (bool, error) {
 			return false, nil // caught up
 		}
 		if _, err := rep.db.ApplyReplicated(data); err != nil {
+			// In quorum mode the leader's push path applies to this same
+			// replica; a shipment that raced a push fails the contiguity
+			// check but the watermark has already moved past `from` — that
+			// is progress, not an error.
+			if rep.db.AppliedSeq() > from {
+				return true, nil
+			}
 			return false, err
 		}
 		rep.pullBytes.Add(uint64(len(data)))

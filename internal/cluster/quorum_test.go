@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"itag/internal/chaos"
+	"itag/internal/store"
+)
+
+// TestBackoffScheduleRegression pins the shared inter-node retry curve:
+// capped exponential from base, so a regression in the schedule (say, a
+// refactor that drops the cap or doubles from the wrong origin) fails
+// loudly instead of silently hammering dead peers.
+func TestBackoffScheduleRegression(t *testing.T) {
+	cases := []struct {
+		base, max time.Duration
+		streak    int
+		want      time.Duration
+	}{
+		{100 * time.Millisecond, time.Second, 0, 100 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 1, 200 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 2, 400 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 3, 800 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 4, time.Second},
+		{100 * time.Millisecond, time.Second, 50, time.Second},
+		// Zero base falls back to the 250ms default.
+		{0, time.Second, 0, 250 * time.Millisecond},
+		// A cap below the base clamps to the base.
+		{500 * time.Millisecond, 100 * time.Millisecond, 5, 500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := backoffFor(c.base, c.max, c.streak); got != c.want {
+			t.Errorf("backoffFor(%v, %v, %d) = %v, want %v", c.base, c.max, c.streak, got, c.want)
+		}
+	}
+	// Jitter spreads over [d/2, 3d/2) and never collapses to zero.
+	d := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		j := jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("jitter(%v) = %v outside [%v, %v)", d, j, d/2, d+d/2)
+		}
+	}
+	if jitter(0) != 0 {
+		t.Errorf("jitter(0) = %v, want 0", jitter(0))
+	}
+}
+
+// TestBreakerLifecycle walks one peer breaker through its whole state
+// machine: closed under threshold, open after threshold straight failures,
+// refusing during the cooldown, half-open single probe after it, re-opened
+// by a failed probe, and fully closed by a successful one.
+func TestBreakerLifecycle(t *testing.T) {
+	b := &breaker{}
+	now := time.Now()
+	cool := time.Second
+
+	for i := 0; i < breakerThreshold-1; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		if b.failure(now, breakerThreshold, cool) {
+			t.Fatalf("breaker opened after %d failures, threshold is %d", i+1, breakerThreshold)
+		}
+	}
+	if !b.failure(now, breakerThreshold, cool) {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if !b.open(now.Add(cool / 2)) {
+		t.Fatal("breaker not open during the cooldown")
+	}
+	if b.allow(now.Add(cool / 2)) {
+		t.Fatal("open breaker admitted a call during the cooldown")
+	}
+
+	// After the cooldown: exactly one probe.
+	after := now.Add(cool + time.Millisecond)
+	if !b.allow(after) {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	if b.allow(after) {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	// A failed probe re-opens immediately (no threshold restart).
+	if !b.failure(after, breakerThreshold, cool) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.opens != 2 {
+		t.Fatalf("opens = %d, want 2", b.opens)
+	}
+
+	// A successful probe closes it fully.
+	after2 := after.Add(cool + time.Millisecond)
+	if !b.allow(after2) {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.success()
+	if b.open(after2) || !b.allow(after2) {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+	if b.failure(after2, breakerThreshold, cool) {
+		t.Fatal("single failure after close re-opened the breaker")
+	}
+}
+
+// TestClusterQuorumAckAndDegrade drives the quorum gate end to end: an
+// acked write is follower-durable (X-Itag-Quorum: ok and the replica's
+// watermark equals the leader's the moment the ack lands); with the
+// follower dead the ack degrades within the bounded timeout — counted,
+// stamped degraded, still a success status — and the follower catches back
+// up through the pull path once it returns.
+func TestClusterQuorumAckAndDegrade(t *testing.T) {
+	const quorumTimeout = 200 * time.Millisecond
+	tc := startCluster(t, []string{"alpha", "beta"}, func(o *Options) {
+		o.Quorum = true
+		o.QuorumTimeout = quorumTimeout
+		o.PullMaxBackoff = 100 * time.Millisecond
+	})
+	slot, project, tagger := tc.seedProject(8)
+	ownerURL := "http://" + slot
+	var follower string
+	for s := range tc.nodes {
+		if s != slot {
+			follower = s
+		}
+	}
+
+	post := func(tag string) (*http.Response, error) {
+		var task store.TaskRec
+		resp, err := tc.do(http.MethodPost, ownerURL+"/api/v1/projects/"+project+"/tasks",
+			map[string]string{"tagger_id": tagger}, &task)
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			return resp, fmt.Errorf("request task: %v (status %v)", err, resp.Status)
+		}
+		return tc.do(http.MethodPost,
+			fmt.Sprintf("%s/api/v1/projects/%s/tasks/%s/submit", ownerURL, project, task.ID),
+			map[string][]string{"tags": {"go", tag}}, nil)
+	}
+
+	// Healthy cluster: the ack carries quorum ok, and by the time it lands
+	// the follower's disk has the write (watermarks equal — the test is
+	// sequential, nothing else is writing).
+	resp, err := post("quorum-ok")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("quorum write: %v (status %v)", err, resp.Status)
+	}
+	if got := resp.Header.Get(HeaderQuorum); got != QuorumOK {
+		t.Fatalf("X-Itag-Quorum = %q, want %q", got, QuorumOK)
+	}
+	leaderSeq := tc.nodes[slot].DB(slot).AppliedSeq()
+	if got := tc.nodes[follower].ReplicaDB(slot).AppliedSeq(); got != leaderSeq {
+		t.Fatalf("acked write not on follower disk: replica at %d, leader at %d", got, leaderSeq)
+	}
+	// Reads bypass the gate: no quorum header.
+	resp, err = tc.do(http.MethodGet, ownerURL+"/api/v1/projects/"+project, nil, nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("read: %v (status %v)", err, resp.Status)
+	}
+	if got := resp.Header.Get(HeaderQuorum); got != "" {
+		t.Fatalf("GET carries X-Itag-Quorum = %q, want none", got)
+	}
+
+	// Kill the follower. The next mutating ack must degrade — bounded by
+	// the timeout, stamped, counted — not hang and not fail.
+	tc.tr.Register(follower, nil)
+	start := time.Now()
+	resp, err = post("degraded-write")
+	took := time.Since(start)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded write: %v (status %v)", err, resp.Status)
+	}
+	if got := resp.Header.Get(HeaderQuorum); got != QuorumDegraded {
+		t.Fatalf("X-Itag-Quorum = %q, want %q", got, QuorumDegraded)
+	}
+	if took < quorumTimeout || took > 10*quorumTimeout {
+		t.Fatalf("degraded ack took %v, want roughly the %v timeout", took, quorumTimeout)
+	}
+	if got := tc.nodes[slot].Status().QuorumDegraded; got == 0 {
+		t.Fatal("degrade not counted in quorum_degraded_total")
+	}
+	if got := tc.nodes[slot].Health(); got == HealthHealthy {
+		t.Fatalf("leader health = %q right after a quorum degrade, want degraded or isolated", got)
+	}
+
+	// Follower returns: the pull path catches it up, and quorum acks come
+	// back once the peer breaker re-closes.
+	tc.tr.Register(follower, tc.nodes[follower].Handler())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = post("recovered-write")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-recovery write: %v (status %v)", err, resp.Status)
+		}
+		if resp.Header.Get(HeaderQuorum) == QuorumOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("quorum acks never recovered after the follower returned")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	tc.waitCaughtUp(slot)
+
+	// The new observability surface is scraped, not just counted.
+	found := map[string]bool{}
+	for _, f := range tc.nodes[slot].Families() {
+		found[f.Name] = true
+	}
+	for _, want := range []string{
+		"itag_cluster_quorum_degraded_total", "itag_cluster_health_state",
+		"itag_cluster_pushes_total", "itag_cluster_quorum_confirmed_seq",
+		"itag_cluster_peer_breaker_opens_total", "itag_cluster_demotions_total",
+	} {
+		if !found[want] {
+			t.Errorf("leader exposition is missing %s", want)
+		}
+	}
+}
+
+// TestClusterPromoteUnderPartition is the asymmetric failover drill the
+// chaos layer exists for: the leader is partitioned away but NOT dead — it
+// keeps acking writes it can no longer replicate. A follower promotes, the
+// ring converges without the old leader's vote, and when the partition
+// heals the deposed leader must discover the new ring, step down, and park
+// its unreplicated tail — never resurrect it into the slot's history.
+func TestClusterPromoteUnderPartition(t *testing.T) {
+	sched := chaos.NewSchedule(42)
+	tc := startCluster(t, []string{"alpha", "beta", "gamma"}, func(o *Options) {
+		o.PullMaxBackoff = 100 * time.Millisecond
+		// Each node's outbound traffic goes through the chaos transport
+		// under its own identity, so a partition cuts exactly the legs that
+		// touch the faulted host — the test client stays un-faulted.
+		o.HTTPClient = &http.Client{Transport: chaos.Wrap(o.HTTPClient.Transport, sched, o.Slot)}
+	})
+	slot, project, tagger := tc.seedProject(8)
+	ownerURL := "http://" + slot
+
+	post := func(url, tag string) {
+		t.Helper()
+		var task store.TaskRec
+		resp, err := tc.do(http.MethodPost, url+"/api/v1/projects/"+project+"/tasks",
+			map[string]string{"tagger_id": tagger}, &task)
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("request task at %s: %v (status %v)", url, err, resp.Status)
+		}
+		if resp, err = tc.do(http.MethodPost,
+			fmt.Sprintf("%s/api/v1/projects/%s/tasks/%s/submit", url, project, task.ID),
+			map[string][]string{"tags": {"go", tag}}, nil); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit at %s: %v (status %v)", url, err, resp.Status)
+		}
+	}
+
+	post(ownerURL, "pre-partition")
+	tc.waitCaughtUp(slot)
+
+	// Cut the old leader off from both peers, both directions. It is still
+	// up: clients that haven't heard about the failover keep hitting it.
+	sched.Faults = append(sched.Faults, chaos.Fault{Kind: chaos.KindPartition, From: slot, To: "*"})
+	sched.Start()
+	defer sched.Stop()
+
+	// Doomed writes: acked by the isolated leader, replicated nowhere.
+	post(ownerURL, "doomed-tail")
+	post(ownerURL, "doomed-tail")
+	doomedSeq := tc.nodes[slot].DB(slot).AppliedSeq()
+
+	// Promote on a survivor from its replica (pre-partition watermark).
+	var surv string
+	for s := range tc.nodes {
+		if s != slot {
+			surv = s
+			break
+		}
+	}
+	var promoted struct {
+		RingVersion uint64 `json:"ring_version"`
+	}
+	resp, err := tc.do(http.MethodPost, "http://"+surv+"/api/v1/cluster/promote",
+		map[string]string{"slot": slot}, &promoted)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: %v (status %v)", err, resp.Status)
+	}
+	survURL := "http://" + surv
+
+	// Exactly one ring: the survivor and the third node converge on the
+	// promoted version while the partition holds.
+	var third string
+	for s := range tc.nodes {
+		if s != slot && s != surv {
+			third = s
+		}
+	}
+	waitFor(t, 5*time.Second, "third node to learn the promoted ring", func() bool {
+		return tc.nodes[third].Ring().Version == promoted.RingVersion
+	})
+
+	// The isolated node's pulls all fail, so its peer breakers open and it
+	// classifies itself isolated: /healthz answers a fast 503 with
+	// Retry-After so balancers route around it.
+	waitFor(t, 5*time.Second, "old leader to classify itself isolated", func() bool {
+		return tc.nodes[slot].Health() == HealthIsolated
+	})
+	resp, err = tc.do(http.MethodGet, ownerURL+"/api/v1/healthz", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("isolated healthz: status %v Retry-After %q, want 503 with a delay",
+			resp.Status, resp.Header.Get("Retry-After"))
+	}
+
+	// Heal. Anti-entropy (ring-version headers on the pull path) must lead
+	// the deposed leader to the new ring; it steps down and parks its WAL.
+	sched.Stop()
+	waitFor(t, 15*time.Second, "deposed leader to adopt the new ring and step down", func() bool {
+		n := tc.nodes[slot]
+		if n.Ring().Version != promoted.RingVersion {
+			return false
+		}
+		st := n.Status()
+		if st.Demotions == 0 {
+			return false
+		}
+		for _, s := range st.Slots {
+			if s.Slot == slot && s.Role == "leader" {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The deposed leader now redirects to the survivor instead of serving
+	// its stale view.
+	waitFor(t, 5*time.Second, "deposed leader to redirect", func() bool {
+		resp, err := tc.do(http.MethodGet, ownerURL+"/api/v1/projects/"+project, nil, nil)
+		return err == nil && resp.StatusCode == http.StatusMisdirectedRequest &&
+			resp.Header.Get(HeaderOwner) == survURL
+	})
+
+	// The unreplicated tail was parked on disk, not deleted and not
+	// replayed: .demoted-v<N> files exist under the old leader's dir.
+	// Parking runs on a background goroutine after the pusher drains and
+	// the deposed store closes, so poll rather than glob once.
+	waitFor(t, 10*time.Second, "demoted WAL tail to be parked", func() bool {
+		parked, err := filepath.Glob(filepath.Join(tc.nodes[slot].opts.Dir, "*.demoted-v*"))
+		return err == nil && len(parked) > 0
+	})
+
+	// And it never resurrects: the new leader's history carries the
+	// pre-partition writes but not the doomed tail, even after the heal
+	// settles and new writes land.
+	post(survURL, "post-failover")
+	resp, err = tc.do(http.MethodGet, survURL+"/api/v1/projects/"+project+"/export", nil, nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("survivor export: %v (status %v)", err, resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export := string(raw)
+	if !strings.Contains(export, "pre-partition") || !strings.Contains(export, "post-failover") {
+		t.Fatalf("survivor export lost acknowledged history: %s", export)
+	}
+	if strings.Contains(export, "doomed-tail") {
+		t.Fatalf("doomed tail resurrected into the slot's history (old leader was at seq %d): %s", doomedSeq, export)
+	}
+
+	// The healed node participates again: its health recovers off isolated.
+	waitFor(t, 10*time.Second, "healed node to leave the isolated state", func() bool {
+		return tc.nodes[slot].Health() != HealthIsolated
+	})
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -43,6 +43,7 @@ func TestTaxonomyCoverage(t *testing.T) {
 		api.CodeInvalidRequest: true,
 		api.CodeBatchTooLarge:  true,
 		api.CodeNotOwner:       true,
+		api.CodeUnavailable:    true,
 		api.CodeTimeout:        true,
 		api.CodeCanceled:       true,
 		api.CodeInternal:       true,

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"itag/internal/errs"
@@ -87,9 +88,35 @@ func (db *DB) SetFailpoint(fn func(Failpoint) bool) {
 	db.fp.Store(&fn)
 }
 
+// globalFP is the process-wide failpoint hook, consulted at every site after
+// the per-DB hook. It exists so a single fault layer (internal/chaos) can
+// reach every DB in the process — including ones opened after the hook was
+// installed — without threading a hook through every Open call. The hook
+// receives the DB's path so schedules can target one node's disk. When unset
+// the cost is one nil atomic load per failpoint site, all of which sit on
+// write/compaction paths.
+var globalFP atomic.Pointer[func(path string, p Failpoint) bool]
+
+// SetGlobalFailpoint installs fn as the process-wide failpoint hook (nil
+// uninstalls). Unlike the per-DB SetFailpoint it covers every DB, current
+// and future; internal/chaos owns it in fault drills. A hook may also model
+// a disk stall by sleeping before returning false (no crash).
+func SetGlobalFailpoint(fn func(path string, p Failpoint) bool) {
+	if fn == nil {
+		globalFP.Store(nil)
+		return
+	}
+	globalFP.Store(&fn)
+}
+
 func (db *DB) failpointHit(p Failpoint) bool {
-	fn := db.fp.Load()
-	return fn != nil && (*fn)(p)
+	if fn := db.fp.Load(); fn != nil && (*fn)(p) {
+		return true
+	}
+	if fn := globalFP.Load(); fn != nil {
+		return (*fn)(db.path, p)
+	}
+	return false
 }
 
 // wal is the file-side state of a durable DB. Every field is guarded by fmu;

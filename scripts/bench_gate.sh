@@ -4,8 +4,8 @@
 #
 # Each gated experiment (S3 store contention, S5 group-commit WAL, S6
 # interned quality hot path, S7 serving read path, S8 cluster, S9
-# admission-control capacity) embeds its measured speedup ratio and the
-# committed minimum in its BENCH_*.json artifact.
+# admission-control capacity, S10 chaos drill) embeds its measured ratio
+# and the committed minimum in its BENCH_*.json artifact.
 # CI's bench-smoke job calls this script on the *committed* artifacts
 # first — failing a build that commits a baseline below its own gate —
 # and then reruns the experiments with `-record`, which itself exits
@@ -25,7 +25,7 @@ ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 DIR="${BENCH_GATE_DIR:-$ROOT}"
 
 if [ "$#" -eq 0 ]; then
-  set -- BENCH_capacity.json BENCH_cluster.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json
+  set -- BENCH_capacity.json BENCH_chaos.json BENCH_cluster.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json
 fi
 
 missing=0
@@ -36,7 +36,7 @@ for f in "$@"; do
     *) p="$DIR/$f" ;;
   esac
   if [ ! -f "$p" ]; then
-    echo "bench_gate.sh: missing artifact: $f (run: go run ./cmd/itag-bench -experiment s3,s5,s6,s7,s8,s9 -record)" >&2
+    echo "bench_gate.sh: missing artifact: $f (run: go run ./cmd/itag-bench -experiment s3,s5,s6,s7,s8,s9,s10 -record)" >&2
     missing=$((missing + 1))
     continue
   fi

@@ -13,7 +13,10 @@
 #      holding every artifact but BENCH_capacity.json fails (exit 2),
 #   7. the serving artifact must gate allocations: BENCH_serving.json
 #      without the cached_detail_allocs_under_10 gate is a test failure,
-#      and an allocs/op regression (ratio below min) fails (exit 1).
+#      and an allocs/op regression (ratio below min) fails (exit 1),
+#   8. the S10 chaos artifact is part of the canonical set: a directory
+#      holding every artifact but BENCH_chaos.json fails (exit 2), and the
+#      committed artifact must carry the zero-acked-write-loss gate.
 #
 # Run from anywhere: scripts/test_bench_gate.sh
 set -eu
@@ -55,7 +58,7 @@ set -e
 
 # 5. The cluster artifact is required in no-argument mode.
 mkdir "$TMP/nocluster"
-for f in BENCH_capacity.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
+for f in BENCH_capacity.json BENCH_chaos.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
   cp "$ROOT/$f" "$TMP/nocluster/$f"
 done
 set +e
@@ -66,7 +69,7 @@ set -e
 
 # 6. The capacity artifact is required in no-argument mode.
 mkdir "$TMP/nocapacity"
-for f in BENCH_cluster.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
+for f in BENCH_chaos.json BENCH_cluster.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
   cp "$ROOT/$f" "$TMP/nocapacity/$f"
 done
 set +e
@@ -87,5 +90,19 @@ set +e
 rc=$?
 set -e
 [ "$rc" -eq 1 ] || fail "allocs/op regression exited $rc, want 1"
+
+# 8. The chaos artifact is required in no-argument mode and must carry the
+#    zero-acked-write-loss gate.
+mkdir "$TMP/nochaos"
+for f in BENCH_capacity.json BENCH_cluster.json BENCH_contention.json BENCH_quality.json BENCH_serving.json BENCH_store.json; do
+  cp "$ROOT/$f" "$TMP/nochaos/$f"
+done
+set +e
+BENCH_GATE_DIR="$TMP/nochaos" "$GATE" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "canonical set without BENCH_chaos.json exited $rc, want 2"
+grep -q '"name": *"quorum_zero_acked_write_loss"' "$ROOT/BENCH_chaos.json" \
+  || fail "BENCH_chaos.json lost the quorum_zero_acked_write_loss gate"
 
 echo "test_bench_gate.sh: ok"
