@@ -242,6 +242,19 @@ func (bs *breakerSet) success(addr string) {
 	}
 }
 
+// release clears the half-open probe flag without recording an outcome.
+// A probe that ends in caller cancellation proves nothing about the node's
+// health, but the flag must not stay set: allow() admits no second probe
+// while one is marked in flight, so a leaked flag wedges the breaker open
+// (every call refused with ErrNodeSuspect) until process restart.
+func (bs *breakerSet) release(addr string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b := bs.m[addr]; b != nil {
+		b.probing = false
+	}
+}
+
 func (bs *breakerSet) failure(addr string, now time.Time) {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
@@ -407,6 +420,9 @@ func (cc *ClusterClient) call(addr string, c *Client, fn func(*Client) error) er
 		cc.breakers.success(addr)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The caller gave up; that says nothing about the node's health.
+		// But if this call was the one admitted half-open probe, the probe
+		// slot must be released or the breaker wedges shut forever.
+		cc.breakers.release(addr)
 	default:
 		cc.breakers.failure(addr, time.Now())
 	}

@@ -53,6 +53,41 @@ func TestClusterClientHopCapOnRedirectLoop(t *testing.T) {
 	}
 }
 
+// TestClusterClientProbeCancelDoesNotWedgeBreaker pins the half-open
+// recovery path: when the single admitted probe ends in a context
+// cancellation or deadline — the common case when probing a hung node,
+// since callers pass deadline contexts — the probe slot must be released.
+// A leaked probing flag used to wedge allow() shut forever: every later
+// call returned ErrNodeSuspect even after the node recovered, and only a
+// process restart cleared it.
+func TestClusterClientProbeCancelDoesNotWedgeBreaker(t *testing.T) {
+	cc := NewCluster([]string{"http://x"}, nil)
+	const addr = "http://x"
+
+	// Open the circuit with failures stamped in the past so the cooldown
+	// has already elapsed and the next allow() admits the half-open probe.
+	past := time.Now().Add(-2 * clientBreakerCooldown)
+	for i := 0; i < clientBreakerThreshold; i++ {
+		cc.breakers.failure(addr, past)
+	}
+
+	// The admitted probe times out against the hung node.
+	err := cc.call(addr, nil, func(*Client) error { return context.DeadlineExceeded })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("probe call returned %v, want DeadlineExceeded", err)
+	}
+
+	// The node recovers. The next call must be admitted (a fresh probe, or
+	// a closed circuit) — not refused with ErrNodeSuspect forever.
+	if err := cc.call(addr, nil, func(*Client) error { return nil }); err != nil {
+		t.Fatalf("breaker wedged after a canceled probe: %v", err)
+	}
+	// And the successful probe closed the circuit fully.
+	if err := cc.call(addr, nil, func(*Client) error { return nil }); err != nil {
+		t.Fatalf("circuit not closed after a successful probe: %v", err)
+	}
+}
+
 // TestClusterClientBreakerSkipsDeadNode pins the SDK-side circuit breaker:
 // after repeated transport failures against a dead owner the client
 // refuses further calls to it locally (ErrNodeSuspect) instead of burning

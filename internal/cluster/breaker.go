@@ -97,6 +97,17 @@ func (p *peerSet) get(addr string) *breaker {
 	return b
 }
 
+// peek returns addr's breaker without allocating one, or nil when the
+// peer has never been contacted. Read-only paths (health classification,
+// metrics) use this so scrapes don't inflate the tracked-peer count to the
+// full ring or pin stale addresses after ring changes; a missing breaker
+// is a closed circuit.
+func (p *peerSet) peek(addr string) *breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m[addr]
+}
+
 // snapshot returns the open/total breaker counts and total opens (for
 // health classification and metrics).
 func (p *peerSet) snapshot(now time.Time) (open, total int, opens uint64) {

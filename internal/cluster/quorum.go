@@ -95,18 +95,47 @@ func (p *pusher) advance(to uint64) {
 	p.waiters = kept
 }
 
+// drop removes the waiter owning ch from p.waiters. Called on every
+// non-confirmed exit from wait(); without it a prolonged follower outage
+// with ongoing writes grows p.waiters by one entry (plus a channel) per
+// degraded request until the follower catches back up. Losing the race
+// with advance() — which closed the channel and already pruned the entry —
+// is fine: the loop simply finds nothing.
+func (p *pusher) drop(ch chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, wtr := range p.waiters {
+		if wtr.ch == ch {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// waitResult says how a quorum wait ended — the distinction matters
+// because only a genuine confirmation timeout is evidence of follower
+// trouble worth counting and degrading node health over.
+type waitResult int
+
+const (
+	waitConfirmed waitResult = iota // follower fsync confirmed the sequence
+	waitTimeout                     // QuorumTimeout elapsed unconfirmed
+	waitCanceled                    // the request died (client disconnect)
+	waitStopped                     // the pusher stopped (demotion/shutdown)
+)
+
 // wait blocks until the follower confirms seq, the timeout elapses, the
-// request dies, or the pusher stops. It reports whether quorum was met.
-func (p *pusher) wait(ctx context.Context, seq uint64, timeout time.Duration) bool {
+// request dies, or the pusher stops, and reports which happened.
+func (p *pusher) wait(ctx context.Context, seq uint64, timeout time.Duration) waitResult {
 	if p.confirmed.Load() >= seq {
-		return true
+		return waitConfirmed
 	}
 	p.poke()
 	ch := make(chan struct{})
 	p.mu.Lock()
 	if p.confirmed.Load() >= seq {
 		p.mu.Unlock()
-		return true
+		return waitConfirmed
 	}
 	p.waiters = append(p.waiters, quorumWaiter{seq: seq, ch: ch})
 	p.mu.Unlock()
@@ -114,13 +143,16 @@ func (p *pusher) wait(ctx context.Context, seq uint64, timeout time.Duration) bo
 	defer t.Stop()
 	select {
 	case <-ch:
-		return true
+		return waitConfirmed
 	case <-t.C:
-		return false
+		p.drop(ch)
+		return waitTimeout
 	case <-ctx.Done():
-		return false
+		p.drop(ch)
+		return waitCanceled
 	case <-p.done:
-		return false
+		p.drop(ch)
+		return waitStopped
 	}
 }
 
@@ -416,7 +448,17 @@ func (n *Node) serveQuorum(b *backend, w http.ResponseWriter, r *http.Request) {
 		// every record this request committed (and possibly later ones —
 		// over-waiting is safe, under-waiting would be a lie).
 		seq := b.db.AppliedSeq()
-		if !b.push.wait(r.Context(), seq, n.opts.QuorumTimeout) {
+		switch b.push.wait(r.Context(), seq, n.opts.QuorumTimeout) {
+		case waitConfirmed:
+		case waitCanceled:
+			// The client hung up before the follower confirmed. The ack is
+			// headed nowhere and the write may well confirm milliseconds
+			// later — stamping it degraded is honest, but it is not evidence
+			// of follower trouble, so it must not count toward the degrade
+			// metric or flip node health (noisy clients would otherwise keep
+			// a healthy node reporting degraded).
+			state = QuorumDegraded
+		default: // waitTimeout, waitStopped
 			state = QuorumDegraded
 			n.quorumDegraded.Add(1)
 			n.lastDegraded.Store(time.Now().UnixNano())

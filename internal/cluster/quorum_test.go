@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -106,6 +107,96 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 	if b.failure(after2, breakerThreshold, cool) {
 		t.Fatal("single failure after close re-opened the breaker")
+	}
+}
+
+// TestQuorumWaiterPruning pins the waiter lifecycle of the quorum gate:
+// every exit from wait() — confirmation, timeout, request cancellation,
+// pusher stop — must leave p.waiters empty. Timed-out waiters used to
+// linger until the follower's watermark passed their sequence, so a
+// prolonged follower outage with ongoing writes grew the slice (one entry
+// plus a channel per degraded request) without bound.
+func TestQuorumWaiterPruning(t *testing.T) {
+	newPusher := func() *pusher {
+		return &pusher{notify: make(chan struct{}, 1), done: make(chan struct{})}
+	}
+	waiterCount := func(p *pusher) int {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return len(p.waiters)
+	}
+
+	// Already-confirmed sequences return without parking at all.
+	p := newPusher()
+	p.confirmed.Store(10)
+	if got := p.wait(context.Background(), 5, time.Minute); got != waitConfirmed {
+		t.Fatalf("wait(confirmed seq) = %v, want waitConfirmed", got)
+	}
+	if n := waiterCount(p); n != 0 {
+		t.Fatalf("confirmed fast path parked %d waiters", n)
+	}
+
+	// Timeout: the waiter must be pruned, not left for advance().
+	p = newPusher()
+	if got := p.wait(context.Background(), 5, time.Millisecond); got != waitTimeout {
+		t.Fatalf("wait(timeout) = %v, want waitTimeout", got)
+	}
+	if n := waiterCount(p); n != 0 {
+		t.Fatalf("timed-out waiter leaked: %d entries", n)
+	}
+
+	// Request cancellation (client disconnect): pruned too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := p.wait(ctx, 5, time.Minute); got != waitCanceled {
+		t.Fatalf("wait(canceled ctx) = %v, want waitCanceled", got)
+	}
+	if n := waiterCount(p); n != 0 {
+		t.Fatalf("canceled waiter leaked: %d entries", n)
+	}
+
+	// Pusher stop (demotion/shutdown): pruned.
+	close(p.done)
+	if got := p.wait(context.Background(), 5, time.Minute); got != waitStopped {
+		t.Fatalf("wait(stopped pusher) = %v, want waitStopped", got)
+	}
+	if n := waiterCount(p); n != 0 {
+		t.Fatalf("stopped-pusher waiter leaked: %d entries", n)
+	}
+
+	// Confirmation releases and prunes parked waiters.
+	p = newPusher()
+	res := make(chan waitResult, 1)
+	go func() { res <- p.wait(context.Background(), 3, time.Minute) }()
+	waitFor(t, time.Second, "waiter to park", func() bool { return waiterCount(p) == 1 })
+	p.advance(3)
+	if got := <-res; got != waitConfirmed {
+		t.Fatalf("wait(advanced) = %v, want waitConfirmed", got)
+	}
+	if n := waiterCount(p); n != 0 {
+		t.Fatalf("confirmed waiter not pruned: %d entries", n)
+	}
+}
+
+// TestPeerPeekDoesNotAllocate pins the read-only breaker view health
+// classification relies on: peeking a never-contacted peer must not create
+// a breaker entry, or every /healthz and metrics scrape inflates
+// itag_cluster_peers_tracked to the full ring and pins stale addresses
+// after ring changes.
+func TestPeerPeekDoesNotAllocate(t *testing.T) {
+	ps := &peerSet{}
+	if b := ps.peek("node-a:8080"); b != nil {
+		t.Fatal("peek of an uncontacted peer returned a breaker")
+	}
+	if _, total, _ := ps.snapshot(time.Now()); total != 0 {
+		t.Fatalf("peek allocated: %d peers tracked, want 0", total)
+	}
+	ps.get("node-a:8080")
+	if ps.peek("node-a:8080") == nil {
+		t.Fatal("peek missed a contacted peer's breaker")
+	}
+	if _, total, _ := ps.snapshot(time.Now()); total != 1 {
+		t.Fatalf("peers tracked = %d, want 1", total)
 	}
 }
 
